@@ -1,0 +1,46 @@
+"""ABL-2: ablation — ISN parameter choice under packaging constraints.
+
+Section 2's claim: "by appropriately selecting parameters for the
+indirect swap network ... the resultant hierarchical layout can be
+adapted to various packaging constraints."  Sweeps pin budgets at n = 12
+and reports the optimizer's choices; also exhibits the paper's remark
+that tighter module-size limits favor the nucleus variant with larger k1.
+Benchmark: the full n = 12 design-space enumeration + scoring.
+"""
+
+from repro.analysis.comparison import format_table
+from repro.packaging.optimizer import optimize_packaging
+
+from conftest import emit
+
+
+def test_abl_param_choice(benchmark):
+    cands = benchmark(optimize_packaging, 12, None, None, 4)
+    assert cands
+
+    rows = []
+    for pins, nodes in [(48, None), (64, None), (128, None), (None, 64), (None, 200)]:
+        best = optimize_packaging(
+            12, max_pins_per_module=pins, max_nodes_per_module=nodes, max_l=4
+        )
+        top = best[0] if best else None
+        rows.append(
+            {
+                "pin limit": pins,
+                "node limit": nodes,
+                "best ks": top.ks if top else "-",
+                "scheme": top.scheme if top else "-",
+                "modules": top.num_modules if top else "-",
+                "pins": top.pins_per_module if top else "-",
+            }
+        )
+    # tight node limit -> nucleus scheme (paper's remark)
+    tight = optimize_packaging(12, max_nodes_per_module=64)
+    assert tight and tight[0].scheme == "nucleus"
+    # generous pins -> row partition with large modules
+    loose = optimize_packaging(12, max_pins_per_module=1024)
+    assert loose[0].scheme == "row"
+    emit(
+        "ABL-2: parameter adaptation to packaging constraints (n = 12)",
+        format_table(rows),
+    )

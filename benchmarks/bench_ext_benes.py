@@ -1,0 +1,69 @@
+"""EXT-3: Benes fabrics — rearrangeability and packaging.
+
+The paper's introduction motivates butterfly layouts with "network
+switches/routers ... based on butterfly, Benes, or related
+interconnection topologies".  This bench exercises that substrate: the
+looping algorithm routes arbitrary permutations (asserted by independent
+simulation), and the row-level Benes inherits butterfly packaging
+economics (only high-bit boundaries leave a row module).  Benchmark:
+routing a random permutation on 1024 terminals.
+"""
+
+import random
+
+from repro.algorithms.benes_routing import apply_settings, route_permutation
+from repro.analysis.comparison import format_table
+from repro.topology.benes import Benes
+
+from conftest import emit
+
+
+def route_1024():
+    rng = random.Random(7)
+    perm = list(range(1024))
+    rng.shuffle(perm)
+    settings = route_permutation(perm)
+    assert apply_settings(settings) == perm
+    return settings
+
+
+def test_ext_benes(benchmark):
+    settings = benchmark(route_1024)
+    assert settings.num_terminals == 1024
+
+    rows = []
+    rng = random.Random(1)
+    for n in (3, 5, 7, 9):
+        N = 1 << n
+        perm = list(range(N))
+        rng.shuffle(perm)
+        s = route_permutation(perm)
+        ok = apply_settings(s) == perm
+        rows.append(
+            {
+                "N": N,
+                "switch stages": len(s.stages),
+                "switches": len(s.stages) * N // 2,
+                "crossed": s.count_crossed(),
+                "realized": ok,
+            }
+        )
+        assert ok
+
+    pkg = []
+    for n in (3, 6, 9):
+        b = Benes(n)
+        for k in (1, n // 2, n - 1):
+            pkg.append(
+                {
+                    "n": n,
+                    "rows/module": 1 << k,
+                    "off-module links": b.offmodule_links_per_module(k),
+                    "boundaries leaving": sum(1 for t in b.boundaries if t >= k),
+                    "of": len(b.boundaries),
+                }
+            )
+    emit(
+        "EXT-3: Benes routing (looping algorithm) and row-module packaging",
+        format_table(rows) + "\n\n" + format_table(pkg),
+    )

@@ -1,0 +1,70 @@
+"""EXT-9: CCC and omega networks under the grid philosophy.
+
+Cube-connected cycles (the subject of the paper's reference [7]) and
+omega networks (a shuffle-exchange fabric isomorphic to the butterfly)
+both lay out with the machinery built here: CCC via hypercube-grid cells
+of cycle nodes, omega via the generalised stage-column engine.  All
+layouts fully validated; CCC's area follows the bisection-square law
+``Theta(4^n) = Theta((N/log N)^2)``.  Benchmark: CCC(5) build +
+validation.
+"""
+
+from repro.analysis.comparison import format_table
+from repro.layout.ccc_layout import ccc_2d_layout
+from repro.layout.multistage import build_multistage_layout
+from repro.layout.validate import validate_layout
+from repro.topology.omega import Omega, destination_tag_route
+
+from conftest import emit
+
+
+def build_ccc5():
+    res = ccc_2d_layout(5)
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    return res
+
+
+def test_ext_ccc_omega(benchmark):
+    benchmark(build_ccc5)
+
+    rows = []
+    for n in (3, 4, 5, 6):
+        res = ccc_2d_layout(n)
+        validate_layout(res.layout, res.graph).raise_if_failed()
+        s = res.layout.summary()
+        rows.append(
+            {
+                "network": f"CCC({n})",
+                "nodes": n << n,
+                "area": s["area"],
+                "area/4^n": round(s["area"] / 4**n, 2),
+                "max wire": s["max_wire_length"],
+            }
+        )
+    # Theta(4^n): the normalised column stabilises
+    ratios = [r["area/4^n"] for r in rows]
+    assert ratios[-1] < ratios[0]
+
+    om_rows = []
+    for n in (3, 4):
+        om = Omega(n)
+        res = build_multistage_layout(1 << n, om.boundary_link_lists(), name="omega")
+        validate_layout(res.layout, res.graph).raise_if_failed()
+        # destination-tag routing spot check on the realised graph
+        g = res.graph
+        for dst in range(1 << n):
+            path = destination_tag_route(n, 0, dst)
+            for s, (x, y) in enumerate(zip(path, path[1:])):
+                assert g.has_edge((x, s), (y, s + 1))
+        om_rows.append(
+            {
+                "network": f"omega({n})",
+                "nodes": (n + 1) << n,
+                "area": res.layout.area,
+                "routes checked": 1 << n,
+            }
+        )
+    emit(
+        "EXT-9: CCC and omega layouts (validated; CCC follows Theta(4^n))",
+        format_table(rows) + "\n\n" + format_table(om_rows),
+    )

@@ -1,0 +1,52 @@
+"""EXT-1: hypercube layouts via the same machinery (conclusion claim).
+
+"We have shown ... that the layouts for butterfly networks and many other
+networks, such as hypercubes and k-ary n-cubes, have area, volume, and
+maximum wire length that are asymptotically the same."  The 2-D grid
+recipe with hypercube channels (congestion ``floor(2^{b+1}/3)``) yields
+validated layouts whose area converges to ``(4/9) N^2`` at L = 2 — the
+hypercubic-networks companion result [26].  Benchmark: Q_7 build +
+validation.
+"""
+
+from repro.analysis.comparison import format_table
+from repro.layout.hypercube_layout import (
+    hypercube_2d_area_estimate,
+    hypercube_2d_dims,
+    hypercube_2d_layout,
+    hypercube_collinear_congestion,
+)
+from repro.layout.validate import validate_layout
+
+from conftest import emit
+
+
+def build_and_validate(n):
+    res = hypercube_2d_layout(n)
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    return res
+
+
+def test_ext_hypercube_layout(benchmark):
+    res = benchmark(build_and_validate, 7)
+    assert res.layout.area > 0
+
+    cong_rows = [
+        {"b": b, "engine congestion": hypercube_collinear_congestion(b),
+         "floor(2^(b+1)/3)": (1 << (b + 1)) // 3}
+        for b in range(1, 9)
+    ]
+    conv_rows = []
+    for n in (8, 12, 16, 20, 24, 28):
+        d = hypercube_2d_dims(n)
+        ratio = d.area / hypercube_2d_area_estimate(n)
+        conv_rows.append(
+            {"n": n, "N": 1 << n, "area": d.area,
+             "(4/9)N^2": int(hypercube_2d_area_estimate(n)),
+             "ratio": round(ratio, 4)}
+        )
+    assert conv_rows[-1]["ratio"] < 1.02
+    emit(
+        "EXT-1: hypercube 2-D layouts (companion claim; area -> (4/9) N^2)",
+        format_table(cong_rows) + "\n\n" + format_table(conv_rows),
+    )

@@ -1,0 +1,55 @@
+"""EXT-7: the injection-rate ceiling, measured dynamically.
+
+Section 2.3: "The maximum injection rate is Theta(1/log R) since the
+average distance is O(log R) and the traffic is balanced within a
+constant factor."  The queued simulator shows both halves: throughput
+tracks offered load all the way to the input-bandwidth wall (balance),
+and the per-*node* rate at that wall is ``~ 1/(n+1) = Theta(1/log N)``
+across sizes.  Benchmark: one 1200-cycle run at n = 6, 0.9 load.
+"""
+
+import pytest
+
+from repro.algorithms.queued_routing import (
+    saturation_per_node_rate,
+    simulate_butterfly_queued,
+)
+from repro.analysis.comparison import format_table
+
+from conftest import emit
+
+
+def test_ext_injection_rate(benchmark):
+    r = benchmark(simulate_butterfly_queued, 6, 0.9, 1200)
+    assert r.accepted_fraction > 0.97
+
+    load_rows = []
+    for rate in (0.3, 0.6, 0.8, 0.9, 0.95):
+        res = simulate_butterfly_queued(6, rate, cycles=1500)
+        load_rows.append(
+            {
+                "per-input rate": rate,
+                "per-node rate": round(res.rate_per_node, 4),
+                "accepted": round(res.accepted_fraction, 4),
+                "avg latency": round(res.avg_latency, 2),
+                "max queue": res.max_queue,
+            }
+        )
+        assert res.accepted_fraction > 0.95  # balanced: no internal wall
+
+    sat_rows = []
+    for n in (4, 6, 8):
+        s = saturation_per_node_rate(n, cycles=800)
+        sat_rows.append(
+            {
+                "n": n,
+                "saturation rate/node": round(s, 4),
+                "1/(n+1)": round(1 / (n + 1), 4),
+                "ratio": round(s * (n + 1), 3),
+            }
+        )
+        assert s * (n + 1) == pytest.approx(1.0, rel=0.1)
+    emit(
+        "EXT-7: dynamic injection-rate ceiling (paper: Theta(1/log R))",
+        format_table(load_rows) + "\n\n" + format_table(sat_rows),
+    )

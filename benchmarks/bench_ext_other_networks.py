@@ -1,0 +1,56 @@
+"""EXT-2: generalized hypercubes and k-ary 2-cubes via the grid recipe.
+
+The GHC instance closes Section 3.2's loop: merging the butterfly
+layout's blocks into supernodes yields a 2-D generalized hypercube whose
+channels are exactly the optimal collinear layouts of complete graphs.
+The torus instance covers the conclusion's k-ary n-cube claim (cycle
+channels need only 2 tracks).  Benchmark: GHC(8,8) build + validation.
+"""
+
+from repro.analysis.comparison import format_table
+from repro.layout.collinear import optimal_track_count
+from repro.layout.ghc_layout import ghc_2d_layout, torus_2d_layout
+from repro.layout.validate import validate_layout
+
+from conftest import emit
+
+
+def build_ghc():
+    res = ghc_2d_layout(8, 8)
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    return res
+
+
+def test_ext_other_networks(benchmark):
+    res = benchmark(build_ghc)
+    assert res.dims.row_tracks == optimal_track_count(8)
+
+    rows = []
+    for r in (4, 8, 16):
+        d = ghc_2d_layout(r, r).dims
+        rows.append(
+            {
+                "network": f"GHC({r},{r})",
+                "nodes": r * r,
+                "channel tracks": d.row_tracks,
+                "= floor(r^2/4)": optimal_track_count(r),
+                "area": d.area,
+            }
+        )
+    for k in (4, 8, 16):
+        t = torus_2d_layout(k)
+        validate_layout(t.layout, t.graph).raise_if_failed()
+        rows.append(
+            {
+                "network": f"torus {k}x{k}",
+                "nodes": k * k,
+                "channel tracks": t.dims.row_tracks,
+                "= floor(r^2/4)": "-",
+                "area": t.layout.area,
+            }
+        )
+        assert t.dims.row_tracks == 2
+    emit(
+        "EXT-2: GHC and k-ary 2-cube layouts (grid recipe + Appendix B channels)",
+        format_table(rows),
+    )

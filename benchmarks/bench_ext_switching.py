@@ -1,0 +1,66 @@
+"""EXT-6: switching/sorting fabrics under the stage-column baseline.
+
+The paper's introduction motivates its layouts with "VLSI layouts of
+switching and sorting networks used in network switches and routers
+[16]" and cites the Batcher bitonic sorter layout [11].  This bench lays
+out butterfly, Benes and bitonic-sorter flow graphs with the
+congestion-optimal stage-column engine (the baseline shape the grid
+scheme beats), validates all of them, and contrasts the butterfly
+numbers with the grid scheme.  Benchmark: the Benes(4) build +
+validation.
+"""
+
+from repro.analysis.comparison import format_table
+from repro.layout.grid_scheme import build_grid_layout
+from repro.layout.multistage import build_multistage_layout
+from repro.layout.validate import validate_layout
+from repro.topology.benes import benes_boundary_bits
+from repro.topology.bitonic import BitonicNetwork
+
+from conftest import emit
+
+
+def build_benes():
+    res = build_multistage_layout(16, benes_boundary_bits(4), name="benes")
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    return res
+
+
+def test_ext_switching_fabrics(benchmark):
+    benchmark(build_benes)
+
+    rows = []
+    configs = [
+        ("butterfly B_4", 16, list(range(4))),
+        ("Benes (4)", 16, benes_boundary_bits(4)),
+        ("bitonic sorter r=4", 16, BitonicNetwork(4).boundaries),
+    ]
+    for name, R, bits in configs:
+        res = build_multistage_layout(R, bits, name=name)
+        validate_layout(res.layout, res.graph).raise_if_failed()
+        s = res.layout.summary()
+        rows.append(
+            {
+                "network": name,
+                "stages": res.dims.stages,
+                "wires": s["wires"],
+                "area": s["area"],
+                "max wire": s["max_wire_length"],
+            }
+        )
+    grid = build_grid_layout((2, 1, 1))
+    s = grid.layout.summary()
+    rows.append(
+        {
+            "network": "butterfly B_4 (grid scheme)",
+            "stages": 5,
+            "wires": s["wires"],
+            "area": s["area"],
+            "max wire": s["max_wire_length"],
+        }
+    )
+    emit(
+        "EXT-6: stage-column layouts of switching/sorting fabrics "
+        "(all validated; grid scheme for contrast)",
+        format_table(rows),
+    )

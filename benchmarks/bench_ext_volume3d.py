@@ -1,0 +1,50 @@
+"""EXT-5: the multilayer 3-D grid model's volume optimum (Section 4.2).
+
+"To minimize the volume of the multilayer 3-D layout, we should select
+``L = Theta(sqrt(N)/log N)``."  The model (Theorem 4.1 wiring footprint
+vs the node floor) reproduces exactly that optimum: volume falls as
+``1/L`` while wiring-limited, rises as ``L`` once node-limited, with the
+minimum ``2 N^{3/2}/log2 N`` at ``L* = 2 sqrt(N)/log2 N``.  Benchmark:
+the sweep at n = 20.
+"""
+
+import math
+
+from repro.analysis.comparison import format_table
+from repro.analysis.formulas import num_nodes
+from repro.layout.multilayer3d import (
+    min_volume_3d,
+    optimal_layers_3d,
+    volume_3d,
+    volume_sweep,
+)
+
+from conftest import emit
+
+
+def test_ext_volume3d(benchmark):
+    pts = benchmark(volume_sweep, 20)
+    vols = [p.volume for p in pts]
+    mid = min(range(len(vols)), key=vols.__getitem__)
+    assert 0 < mid < len(vols) - 1  # interior minimum (V-shape)
+
+    n = 20
+    N = num_nodes(n)
+    lstar = optimal_layers_3d(n)
+    rows = [
+        {
+            "L": p.L,
+            "L/L*": round(p.L / lstar, 3),
+            "footprint": p.footprint,
+            "volume": p.volume,
+            "regime": p.regime,
+        }
+        for p in pts
+    ]
+    assert abs(min_volume_3d(n) - 2 * N ** 1.5 / math.log2(N)) < 1e-6
+    emit(
+        f"EXT-5: 3-D volume model at n = {n} — optimum L* = {lstar:.0f} "
+        f"= 2 sqrt(N)/log2 N (paper: Theta(sqrt(N)/log N)); "
+        f"V* = {min_volume_3d(n):.3e}",
+        format_table(rows),
+    )

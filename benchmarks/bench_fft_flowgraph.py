@@ -1,0 +1,40 @@
+"""FFT: functional verification that our graphs are FFT flow graphs.
+
+Section 2.2's argument rests on ISNs performing FFT by a variant ascend
+algorithm.  We run real FFTs through the butterfly and ISN dataflows and
+compare with numpy; the benchmark times a 4096-point FFT over the B_12
+flow graph (pure-python orchestration over numpy stages).
+"""
+
+import numpy as np
+
+from repro.algorithms.fft import fft_via_butterfly, fft_via_isn
+from repro.analysis.comparison import format_table
+from repro.topology.isn import ISN
+
+from conftest import emit
+
+RNG = np.random.default_rng(2000)
+
+
+def test_fft_flowgraph(benchmark):
+    x = RNG.normal(size=4096) + 1j * RNG.normal(size=4096)
+    y = benchmark(fft_via_butterfly, x)
+    assert np.allclose(y, np.fft.fft(x))
+
+    rows = []
+    for ks in [(1, 1), (2, 2), (3, 3), (3, 3, 3), (4, 3, 3), (4, 4, 2), (5, 5)]:
+        isn = ISN.from_ks(ks)
+        xs = RNG.normal(size=isn.rows) + 1j * RNG.normal(size=isn.rows)
+        err = float(np.max(np.abs(fft_via_isn(xs, isn) - np.fft.fft(xs))))
+        rows.append(
+            {
+                "ISN": ks,
+                "size": isn.rows,
+                "stages": isn.stages,
+                "swap steps": len(isn.swap_step_indices()),
+                "max |err| vs numpy": f"{err:.2e}",
+            }
+        )
+        assert err < 1e-10
+    emit("FFT: butterfly and ISN dataflows vs numpy.fft", format_table(rows))

@@ -1,0 +1,26 @@
+"""FIG-2: 8x8 and 16x16 swap-butterflies (paper Figure 2).
+
+The figure's content is the row-number annotation of each node; we print
+the full matrices and verify both transformations, benchmarking the
+16x16 generator-level verification.
+"""
+
+from repro.transform.automorphism import verify_by_generators, verify_by_graphs
+from repro.transform.swap_butterfly import SwapButterfly
+from repro.viz.ascii import swap_butterfly_figure
+
+from conftest import emit
+
+
+def test_fig2_swap_butterflies(benchmark):
+    assert verify_by_graphs((2, 1))  # 8x8 (n = 3)
+    ok = benchmark(verify_by_generators, (2, 2))  # 16x16 (n = 4)
+    assert ok
+
+    body = []
+    for ks in [(2, 1), (2, 2)]:
+        sb = SwapButterfly.from_ks(ks)
+        body.append(f"{2**sb.n}x{2**sb.n} butterfly from ISN{ks}:")
+        body.append(swap_butterfly_figure(sb))
+        body.append("")
+    emit("FIG-2: swap-butterfly row-number matrices (paper Figure 2)", "\n".join(body))

@@ -1,0 +1,41 @@
+"""FIG-3: the recursive grid layout scheme (paper Figure 3).
+
+Builds the full wire-level layout for n = 6 (the smallest size where both
+composite levels and all channel structures appear), validates every
+layout-model rule, and reports the grid structure the figure sketches.
+The benchmark times construction + validation.
+"""
+
+from repro.analysis.comparison import format_table
+from repro.layout.grid_scheme import build_grid_layout
+from repro.layout.validate import validate_layout
+
+from conftest import emit
+
+KS = (2, 2, 2)
+
+
+def build_and_validate():
+    res = build_grid_layout(KS)
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    return res
+
+
+def test_fig3_recursive_grid(benchmark):
+    res = benchmark(build_and_validate)
+    d = res.dims
+    s = res.layout.summary()
+    rows = [
+        {"quantity": "grid (rows x cols)", "value": f"{d.grid_rows} x {d.grid_cols}"},
+        {"quantity": "block size", "value": f"{d.block.width} x {d.block.height}"},
+        {"quantity": "H channel tracks (2^(k1+k2))", "value": d.chan_h},
+        {"quantity": "V channel tracks (2^(k1+k3))", "value": d.chan_v},
+        {"quantity": "nodes / wires / segments",
+         "value": f"{s['nodes']} / {s['wires']} / {s['segments']}"},
+        {"quantity": "area (grid units^2)", "value": s["area"]},
+        {"quantity": "max wire length", "value": s["max_wire_length"]},
+    ]
+    assert d.chan_h == 16 and d.chan_v == 16
+    assert s["nodes"] == 448
+    emit("FIG-3: recursive grid layout, built wire-level at n = 6",
+         format_table(rows))

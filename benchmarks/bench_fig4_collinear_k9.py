@@ -1,0 +1,28 @@
+"""FIG-4: the collinear layout of K_9 (paper Figure 4).
+
+The paper's figure shows K_9 laid out in exactly floor(81/4) = 20 tracks.
+We regenerate the track map, build the geometric layout, validate it, and
+benchmark construction + validation.
+"""
+
+from repro.layout.collinear import collinear_layout, optimal_track_count
+from repro.layout.validate import validate_layout
+from repro.viz.ascii import collinear_figure
+
+from conftest import emit
+
+
+def build_and_validate():
+    cl = collinear_layout(9)
+    validate_layout(cl.layout, cl.graph).raise_if_failed()
+    return cl
+
+
+def test_fig4_collinear_k9(benchmark):
+    cl = benchmark(build_and_validate)
+    assert cl.tracks_total == 20 == optimal_track_count(9)
+    emit(
+        "FIG-4: collinear layout of K_9 — paper: 20 tracks; measured: "
+        f"{cl.tracks_total}",
+        collinear_figure(9),
+    )

@@ -1,0 +1,57 @@
+"""SCALE: node-size scalability of the grid scheme.
+
+Paper (Sections 3.3, 4.2): each node may occupy a square of side
+W = o(sqrt(N)/(L log N)) without affecting the leading constants, because
+nodes are aligned as a 2-D grid.  Built layouts at n = 6 show the flat
+region; closed-form dims at n = 24 show the knee near the threshold.
+The benchmark times a W = 16 build + validation.
+"""
+
+from repro.analysis.comparison import format_table
+from repro.analysis.formulas import max_node_side_multilayer
+from repro.layout.grid_scheme import build_grid_layout, grid_dims
+from repro.layout.validate import validate_layout
+
+from conftest import emit
+
+
+def build_and_validate(W):
+    res = build_grid_layout((2, 2, 2), W=W)
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    return res
+
+
+def test_node_scalability(benchmark):
+    res = benchmark(build_and_validate, 16)
+    assert res.dims.W == 16
+
+    rows = []
+    base = None
+    for W in (4, 8, 16, 32):
+        r = build_and_validate(W)
+        a = r.layout.area
+        base = base or a
+        rows.append({"W (built, n=6)": W, "area": a, "vs W=4": round(a / base, 3)})
+
+    k = 8
+    n = 3 * k
+    thr = max_node_side_multilayer(n, 2)
+    big_rows = []
+    base_big = grid_dims((k, k, k), W=4).area
+    for W in (4, 32, 128, 512, 1024):
+        d = grid_dims((k, k, k), W=W)
+        big_rows.append(
+            {
+                "W (dims, n=24)": W,
+                "W/threshold": round(W / thr, 3),
+                "area vs W=4": round(d.area / base_big, 3),
+            }
+        )
+    # flat while far below the threshold; growing once near it
+    assert big_rows[1]["area vs W=4"] < 1.6
+    assert big_rows[-1]["area vs W=4"] > 3
+    emit(
+        "SCALE: node-size scalability (paper: W = o(sqrt(N)/(L log N)) free)",
+        format_table(rows) + "\n\n" + format_table(big_rows)
+        + f"\n(threshold sqrt(N)/(L log N) = {thr:.0f} at n = {n}, L = 2)",
+    )

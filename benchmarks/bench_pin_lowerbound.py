@@ -1,0 +1,58 @@
+"""LB-PIN: the injection-rate pin lower bound, demonstrated by simulation.
+
+Section 2.3's matching lower bound: at injection rate Theta(1/log R) a
+module of M nodes needs Omega(M/log R) off-module links.  We route random
+uniform traffic through the swap-butterfly, measure per-module boundary
+demand, and show (a) traffic is balanced across modules (the argument's
+premise) and (b) our partition's pin count sits within a small constant
+of the measured demand-derived bound.  Benchmark: the 50k-packet sim.
+"""
+
+import numpy as np
+
+from repro.algorithms.routing import measure_offmodule_traffic
+from repro.analysis.bounds import injection_rate, pin_lower_bound
+from repro.analysis.comparison import format_table
+from repro.packaging.pins import row_partition_offmodule_per_module
+
+from conftest import emit
+
+
+def test_pin_lower_bound(benchmark):
+    d = benchmark(measure_offmodule_traffic, (3, 3, 3), 50000)
+
+    rows = []
+    for ks in [(2, 2), (2, 2, 2), (3, 3), (3, 3, 3)]:
+        n = sum(ks)
+        k1 = ks[0]
+        R = 1 << n
+        M = (n + 1) << k1  # nodes per row-partition module
+        sim = measure_offmodule_traffic(ks, 30000)
+        counts = np.array(list(sim.crossings_per_module.values()))
+        balance = counts.std() / counts.mean()
+        # demand per module per step when every input injects at rate
+        # 1/log2 R: crossings/packet * (R inputs / modules) * rate * 2 ends
+        modules = 1 << (n - k1)
+        demand = (
+            2 * sim.total_crossings / sim.num_packets * R / modules
+        ) * injection_rate(R)
+        pins = row_partition_offmodule_per_module(ks)
+        lb = pin_lower_bound(M, R)
+        rows.append(
+            {
+                "ks": ks,
+                "traffic balance (cv)": round(float(balance), 3),
+                "measured demand": round(demand, 2),
+                "pin LB M/logR": round(lb, 2),
+                "our pins": pins,
+                "pins/demand": round(pins / demand, 2),
+            }
+        )
+        assert balance < 0.15  # balanced within a small factor (premise)
+        assert pins >= demand * 0.9  # pins cover the sustained demand
+        assert pins <= 32 * max(demand, 1)  # ...within a constant factor
+    emit(
+        "LB-PIN: random-routing demand vs Theorem 2.1 pins "
+        "(paper: Omega(M/log R) lower bound)",
+        format_table(rows),
+    )

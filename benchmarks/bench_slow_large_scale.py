@@ -1,0 +1,35 @@
+"""Opt-in large-scale run: the full n = 12 wire-level construction.
+
+Builds and fully validates the 53 248-node butterfly layout (~100k wires,
+~290k segments) — set ``REPRO_SLOW=1`` to enable (about a minute).  The
+default suite covers n <= 9; this run exists so the claim "the
+construction scales" is executable, not anecdotal.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.comparison import format_table
+from repro.layout.grid_scheme import build_grid_layout
+from repro.layout.validate import validate_layout
+
+from conftest import emit
+
+SLOW = os.environ.get("REPRO_SLOW") == "1"
+
+
+@pytest.mark.skipif(not SLOW, reason="set REPRO_SLOW=1 to run the n=12 build")
+def test_slow_n12_build(benchmark):
+    def build():
+        res = build_grid_layout((4, 4, 4))
+        validate_layout(res.layout, res.graph).raise_if_failed()
+        return res
+
+    res = benchmark.pedantic(build, rounds=1, iterations=1)
+    s = res.layout.summary()
+    assert s["nodes"] == 13 * 4096
+    emit(
+        "SLOW: n = 12 wire-level build + full validation",
+        format_table([{"metric": k, "value": v} for k, v in s.items()]),
+    )

@@ -1,0 +1,51 @@
+"""PKG-2 / Theorem 2.1: the nucleus partition's module bounds.
+
+"We can partition an R x R butterfly network into modules that have no
+more than 2^k1 k1 nodes and no more than 2^(k1+2) off-module links per
+module."  Exact enumeration across parameter vectors; the benchmark times
+the n = 9 nucleus accounting.
+"""
+
+from repro.analysis.comparison import format_table
+from repro.analysis.bounds import pin_lower_bound
+from repro.packaging.partition import NucleusPartition
+from repro.packaging.pins import count_off_module_links, nucleus_partition_module_bound
+from repro.transform.swap_butterfly import SwapButterfly
+
+from conftest import emit
+
+
+def exact(ks):
+    sb = SwapButterfly.from_ks(ks)
+    part = NucleusPartition(sb)
+    return part, count_off_module_links(part)
+
+
+def test_thm21_packaging(benchmark):
+    _, rep9 = benchmark(exact, (3, 3, 3))
+    assert rep9.max_per_module == 32 == nucleus_partition_module_bound(3)
+
+    rows = []
+    for ks in [(2, 2), (2, 2, 2), (3, 2, 2), (3, 3, 3), (3, 3, 2), (2, 2, 2, 2)]:
+        part, rep = exact(ks)
+        k1 = ks[0]
+        n = sum(ks)
+        bound = nucleus_partition_module_bound(k1)
+        # interior modules: k_i 2^k_i nodes (the first segment adds the
+        # input stage, hence (k1+1) 2^k1 — recorded in EXPERIMENTS.md)
+        lb = pin_lower_bound(k1 * 2**k1, 2**n)
+        assert rep.max_per_module <= bound
+        rows.append(
+            {
+                "ks": ks,
+                "modules": part.num_modules,
+                "max nodes": part.max_nodes_per_module,
+                "paper node bound k1*2^k1": k1 * 2**k1,
+                "max pins (exact)": rep.max_per_module,
+                "bound 2^(k1+2)": bound,
+                "pin LB M/logR": f"{lb:.1f}",
+                "pins/LB": f"{rep.max_per_module / lb:.2f}",
+            }
+        )
+    emit("PKG-2 (Theorem 2.1): nucleus partition — exact vs bounds",
+         format_table(rows))

@@ -1,0 +1,72 @@
+"""THM-41: multilayer layouts (Theorem 4.1).
+
+Paper: with L layers, area 4N^2/(L^2 log2^2 N) for even L and
+4N^2/((L^2-1) log2^2 N) for odd L; max wire 2N/(L log2 N); volume
+4N^2/(L log2^2 N).  We build and validate real layouts for L = 2..8 at
+n = 6 and check the closed-form dims reproduce the even/odd L-scaling at
+large n.  The benchmark times the L = 4 build + validation.
+"""
+
+import pytest
+
+from repro.analysis.comparison import format_table
+from repro.analysis.formulas import multilayer_area, multilayer_max_wire, multilayer_volume
+from repro.layout.grid_scheme import build_grid_layout, grid_dims
+from repro.layout.validate import validate_layout
+
+from conftest import emit
+
+KS = (2, 2, 2)
+
+
+def build_and_validate(L):
+    res = build_grid_layout(KS, L=L)
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    return res
+
+
+def test_thm41_multilayer(benchmark):
+    res4 = benchmark(build_and_validate, 4)
+    n = sum(KS)
+
+    rows = []
+    prev_area = None
+    for L in (2, 3, 4, 5, 6, 8):
+        r = build_and_validate(L)
+        s = r.layout.summary()
+        rows.append(
+            {
+                "L": L,
+                "area (built)": s["area"],
+                "paper area": int(multilayer_area(n, L)),
+                "volume (built)": s["volume"],
+                "paper volume": int(multilayer_volume(n, L)),
+                "max wire (built)": s["max_wire_length"],
+                "paper wire": int(multilayer_max_wire(n, L)),
+            }
+        )
+        if prev_area is not None:
+            assert s["area"] <= prev_area  # monotone in L
+        prev_area = s["area"]
+
+    # large-n closed form: the even/odd L^2 vs L^2-1 scaling
+    k = 14  # blocks do not shrink with L, so high L needs large n
+    big = 3 * k
+    d2 = grid_dims((k, k, k), L=2).area
+    scale_rows = []
+    for L in (3, 4, 5, 6, 8):
+        dL = grid_dims((k, k, k), L=L).area
+        denom = L * L if L % 2 == 0 else L * L - 1
+        scale_rows.append(
+            {
+                "L": L,
+                "area(2)/area(L) measured": round(d2 / dL, 3),
+                "paper denom/4": denom / 4,
+            }
+        )
+        assert d2 / dL == pytest.approx(denom / 4, rel=0.08)
+    emit(
+        "THM-41: multilayer layouts — built (n = 6) and closed-form scaling "
+        f"(n = {big})",
+        format_table(rows) + "\n\nL-scaling at large n:\n" + format_table(scale_rows),
+    )

@@ -1,0 +1,10 @@
+"""Benchmark-suite helpers: every bench prints a paper-vs-measured table
+(visible with ``pytest benchmarks/ --benchmark-only -s``) and asserts the
+claims it reproduces, so the suite doubles as a numeric regression net."""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""FFT as dataflow over butterfly and ISN topologies.
+
+Section 2.2's core argument is that an ISN performs the FFT by an ascend
+algorithm with extra forwarding over swap links — which is exactly why
+bypassing the swap stages yields a butterfly automorphism.  This example
+runs a real 512-point FFT through both flow graphs, traces every data
+movement against the networks' edges, and compares with numpy.
+
+Run:  python examples/fft_dataflow.py
+"""
+
+import numpy as np
+
+from repro.algorithms.ascend import AscendTrace
+from repro.algorithms.fft import fft_via_butterfly, fft_via_isn
+from repro.topology.isn import ISN
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=512) + 1j * rng.normal(size=512)
+    reference = np.fft.fft(x)
+
+    trace = AscendTrace()
+    y_bfly = fft_via_butterfly(x, trace=trace)
+    err = np.max(np.abs(y_bfly - reference))
+    print(f"FFT over B_9 flow graph: max |err| = {err:.2e}")
+    print(
+        f"  every one of the {len(trace.moves)} data movements verified "
+        f"against a butterfly edge"
+    )
+
+    for ks in [(3, 3, 3), (4, 3, 2), (5, 4)]:
+        isn = ISN.from_ks(ks)
+        y = fft_via_isn(x, isn)
+        err = np.max(np.abs(y - reference))
+        swaps = len(isn.swap_step_indices())
+        print(
+            f"FFT over ISN{ks}: max |err| = {err:.2e} "
+            f"({isn.stages} stages, {swaps} swap forwarding steps)"
+        )
+
+    print("\nthe ISN computes the same FFT with extra forwarding over swap")
+    print("links — bypassing those stages is the butterfly transformation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Regenerate the paper's figures (1-4) as text and SVG.
+
+* Figure 1: the 4x4 ISN with k=(1,1) and its butterfly relabeling;
+* Figure 2: the 8x8 and 16x16 swap-butterflies' row-number matrices;
+* Figure 3: the recursive grid layout (top view) — rendered as SVG from
+  the actual wire-level construction;
+* Figure 4: the collinear layout of K_9 with its 20 tracks.
+
+SVGs are written next to this script (layout_fig3_n6.svg, fig4_k9.svg).
+
+Run:  python examples/layout_gallery.py
+"""
+
+import os
+
+from repro.layout.collinear import collinear_layout
+from repro.layout.grid_scheme import build_grid_layout
+from repro.layout.validate import validate_layout
+from repro.topology.isn import ISN
+from repro.transform.swap_butterfly import SwapButterfly
+from repro.viz.ascii import collinear_figure, isn_schedule_figure, swap_butterfly_figure
+from repro.viz.svg import save_svg
+
+# SVGs land next to this script unless REPRO_OUT_DIR overrides (tests
+# point it at a temp directory)
+OUT_DIR = os.environ.get("REPRO_OUT_DIR") or os.path.dirname(os.path.abspath(__file__))
+
+
+def fig1() -> None:
+    print("=" * 60)
+    print("Figure 1: 4x4 ISN (k = (1,1)) -> 4x4 butterfly")
+    print("=" * 60)
+    print(isn_schedule_figure(ISN.from_ks((1, 1))))
+    print()
+    print("butterfly row carried by each physical node (rows x stages):")
+    print(swap_butterfly_figure(SwapButterfly.from_ks((1, 1))))
+    print()
+
+
+def fig2() -> None:
+    print("=" * 60)
+    print("Figure 2: 8x8 and 16x16 swap-butterflies")
+    print("=" * 60)
+    for ks in [(2, 1), (2, 2)]:
+        sb = SwapButterfly.from_ks(ks)
+        print(f"\n{2**sb.n}x{2**sb.n} butterfly from ISN{ks}:")
+        print(swap_butterfly_figure(sb))
+    print()
+
+
+def fig3() -> None:
+    print("=" * 60)
+    print("Figure 3: recursive grid layout scheme (built at n = 6)")
+    print("=" * 60)
+    res = build_grid_layout((2, 2, 2))
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    d = res.dims
+    print(
+        f"blocks: {d.grid_rows} x {d.grid_cols} grid, block "
+        f"{d.block.width}x{d.block.height}, H channels {d.chan_h} tracks, "
+        f"V channels {d.chan_v} tracks"
+    )
+    path = save_svg(res.layout, os.path.join(OUT_DIR, "layout_fig3_n6.svg"), scale=1.5)
+    print(f"wrote {path}")
+    print()
+
+
+def fig4() -> None:
+    print("=" * 60)
+    print("Figure 4: collinear layout of K_9 (20 tracks)")
+    print("=" * 60)
+    print(collinear_figure(9))
+    cl = collinear_layout(9)
+    validate_layout(cl.layout, cl.graph).raise_if_failed()
+    path = save_svg(cl.layout, os.path.join(OUT_DIR, "fig4_k9.svg"), scale=6)
+    print(f"wrote {path}")
+    print()
+
+
+if __name__ == "__main__":
+    fig1()
+    fig2()
+    fig3()
+    fig4()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multilayer trade-offs: Theorem 4.1 measured on real constructions.
+
+Sweeps the number of wiring layers L for a fixed butterfly, building the
+full wire-level layout each time, and reports area / volume / max wire
+length against the theorem's leading terms.  A second sweep evaluates the
+exact closed-form dimensions at large n, showing the leading constants
+converging to 1.
+
+Run:  python examples/multilayer_tradeoffs.py
+"""
+
+from repro import (
+    build_grid_layout,
+    format_table,
+    grid_dims,
+    multilayer_area,
+    multilayer_max_wire,
+    multilayer_volume,
+    validate_layout,
+)
+
+
+def measured_sweep(ks=(2, 2, 2)) -> None:
+    n = sum(ks)
+    print(f"= built layouts, B_{n}: L sweep " + "=" * 30)
+    rows = []
+    for L in (2, 3, 4, 5, 6, 8):
+        res = build_grid_layout(ks, L=L)
+        validate_layout(res.layout, res.graph).raise_if_failed()
+        s = res.layout.summary()
+        rows.append(
+            {
+                "L": L,
+                "area": s["area"],
+                "paper area": multilayer_area(n, L),
+                "volume": s["volume"],
+                "paper volume": multilayer_volume(n, L),
+                "max wire": s["max_wire_length"],
+                "paper wire": multilayer_max_wire(n, L),
+            }
+        )
+    print(format_table(rows))
+    print("(absolute ratios shrink with n; see the closed-form sweep below)\n")
+
+
+def closed_form_sweep() -> None:
+    print("= closed-form dims: area ratio to 4 N^2/(L^2 log^2 N) -> 1 " + "=" * 8)
+    rows = []
+    for k in (3, 5, 7, 9, 11):
+        n = 3 * k
+        row = {"n": n}
+        for L in (2, 4, 8):
+            d = grid_dims((k, k, k), L=L)
+            row[f"ratio L={L}"] = d.area / multilayer_area(n, L)
+        rows.append(row)
+    print(format_table(rows))
+    print(
+        "\n(the ratio contains the (n+1)^2/log2^2 N factor from N = (n+1) 2^n;"
+        "\n against 4^n the construction's constant is "
+        + ", ".join(
+            f"{grid_dims((k, k, k)).area / 4 ** (3 * k):.3f}" for k in (5, 8, 11)
+        )
+        + " at n = 15, 24, 33)"
+    )
+
+
+if __name__ == "__main__":
+    measured_sweep()
+    closed_form_sweep()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Companion networks: hypercubes, generalized hypercubes, tori, Benes.
+
+The paper's conclusion claims its machinery carries over to "many other
+networks, such as hypercubes and k-ary n-cubes"; its introduction
+motivates everything with butterfly/Benes switch fabrics.  This example
+exercises all four substrates end to end:
+
+* a validated 2-D hypercube layout whose channels are optimal collinear
+  layouts of sub-hypercubes (area -> (4/9) N^2);
+* a generalized-hypercube layout wired by Appendix B's complete-graph
+  channels (the Section 3.2 supernode picture, stood up on its own);
+* a k-ary 2-cube (torus) layout with 2-track cycle channels;
+* Benes permutation routing via the looping algorithm, verified by
+  simulation.
+
+Run:  python examples/other_networks.py
+"""
+
+import random
+
+from repro.algorithms.benes_routing import apply_settings, route_permutation
+from repro.analysis.comparison import format_table
+from repro.layout.ghc_layout import ghc_2d_layout, torus_2d_layout
+from repro.layout.hypercube_layout import (
+    hypercube_2d_area_estimate,
+    hypercube_2d_dims,
+    hypercube_2d_layout,
+)
+from repro.layout.collinear import optimal_track_count
+from repro.layout.validate import validate_layout
+
+
+def hypercubes() -> None:
+    print("= hypercube layouts " + "=" * 40)
+    res = hypercube_2d_layout(6)
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    print(f"Q_6 built and validated: area {res.layout.area}, "
+          f"max wire {res.layout.max_wire_length()}")
+    rows = [
+        {
+            "n": n,
+            "area (closed form)": hypercube_2d_dims(n).area,
+            "(4/9) N^2": int(hypercube_2d_area_estimate(n)),
+            "ratio": round(hypercube_2d_dims(n).area / hypercube_2d_area_estimate(n), 4),
+        }
+        for n in (10, 16, 22, 28)
+    ]
+    print(format_table(rows))
+    print()
+
+
+def ghc_and_torus() -> None:
+    print("= generalized hypercube and torus " + "=" * 26)
+    g = ghc_2d_layout(8, 8)
+    validate_layout(g.layout, g.graph).raise_if_failed()
+    print(
+        f"GHC(8,8): channels use {g.dims.row_tracks} tracks "
+        f"(= floor(64/4) = {optimal_track_count(8)}, Appendix B), "
+        f"area {g.layout.area}"
+    )
+    t = torus_2d_layout(8)
+    validate_layout(t.layout, t.graph).raise_if_failed()
+    print(f"8x8 torus: cycle channels need {t.dims.row_tracks} tracks, "
+          f"area {t.layout.area}")
+    print()
+
+
+def benes() -> None:
+    print("= Benes permutation routing " + "=" * 32)
+    rng = random.Random(3)
+    for n in (4, 8):
+        N = 1 << n
+        perm = list(range(N))
+        rng.shuffle(perm)
+        settings = route_permutation(perm)
+        ok = apply_settings(settings) == perm
+        print(
+            f"N={N}: {len(settings.stages)} switch stages, "
+            f"{settings.count_crossed()} crossed switches, "
+            f"permutation realized: {ok}"
+        )
+    print("\n(rearrangeability = why Benes/butterfly fabrics back the")
+    print(" switches the paper's introduction motivates)")
+
+
+if __name__ == "__main__":
+    hypercubes()
+    ghc_and_torus()
+    benes()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Switch-fabric workloads: the paper's motivating application.
+
+"Many network switches/routers are based on butterfly, Benes, or related
+interconnection topologies."  This example runs a small switch fabric
+end to end:
+
+1. lay out the fabric candidates (butterfly, Benes, bitonic sorter,
+   omega, and a raw ISN) with the congestion-optimal stage-column engine
+   and validate every one;
+2. route a batch of permutations through the Benes fabric (looping
+   algorithm) and spot-check omega destination-tag routing;
+3. load the butterfly with queued random traffic and measure the
+   injection-rate wall the paper's Section 2.3 bound predicts.
+
+Run:  python examples/switching_fabrics.py
+"""
+
+import random
+
+from repro.algorithms.benes_routing import apply_settings, route_permutation
+from repro.algorithms.queued_routing import simulate_butterfly_queued
+from repro.analysis.comparison import format_table
+from repro.layout.multistage import build_multistage_layout
+from repro.layout.validate import validate_layout
+from repro.topology.benes import benes_boundary_bits
+from repro.topology.bitonic import BitonicNetwork
+from repro.topology.isn import ISN
+from repro.topology.omega import Omega, destination_tag_route
+
+
+def fabric_layouts() -> None:
+    print("= stage-column layouts of 16-port fabrics " + "=" * 20)
+    rows = []
+    configs = [
+        ("butterfly", 16, list(range(4))),
+        ("Benes", 16, benes_boundary_bits(4)),
+        ("bitonic sorter", 16, BitonicNetwork(4).boundaries),
+        ("omega", 16, Omega(4).boundary_link_lists()),
+        ("ISN(2,2)", 16, ISN.from_ks((2, 2)).boundary_link_lists()),
+    ]
+    for name, R, bits in configs:
+        res = build_multistage_layout(R, bits, name=name)
+        validate_layout(res.layout, res.graph).raise_if_failed()
+        s = res.layout.summary()
+        rows.append(
+            {
+                "fabric": name,
+                "stages": res.dims.stages,
+                "area": s["area"],
+                "max wire": s["max_wire_length"],
+                "vias": s["vias"],
+            }
+        )
+    print(format_table(rows))
+    print()
+
+
+def permutation_routing() -> None:
+    print("= permutation routing " + "=" * 40)
+    rng = random.Random(11)
+    perm = list(range(64))
+    rng.shuffle(perm)
+    settings = route_permutation(perm)
+    assert apply_settings(settings) == perm
+    print(
+        f"Benes(64): routed a random permutation with "
+        f"{settings.count_crossed()} crossed switches — verified by simulation"
+    )
+    om_rows = [destination_tag_route(4, 5, dst)[-1] == dst for dst in range(16)]
+    print(f"omega(16): destination-tag routing delivered {sum(om_rows)}/16")
+    print()
+
+
+def traffic() -> None:
+    print("= queued traffic on the butterfly fabric " + "=" * 20)
+    rows = []
+    for rate in (0.4, 0.8, 0.95):
+        r = simulate_butterfly_queued(6, rate, cycles=1500)
+        rows.append(
+            {
+                "offered/input": rate,
+                "offered/node": round(r.rate_per_node, 4),
+                "accepted": round(r.accepted_fraction, 3),
+                "avg latency": round(r.avg_latency, 1),
+            }
+        )
+    print(format_table(rows))
+    print(
+        "\n(the per-node ceiling 1/(n+1) = Theta(1/log N) is the paper's "
+        "Section 2.3 injection-rate bound)"
+    )
+
+
+if __name__ == "__main__":
+    fabric_layouts()
+    permutation_routing()
+    traffic()

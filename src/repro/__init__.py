@@ -1,0 +1,111 @@
+"""repro — reproduction of "VLSI Layout and Packaging of Butterfly
+Networks" (Yeh, Parhami, Varvarigos, Lee; SPAA 2000).
+
+The package builds, validates and measures the paper's constructions:
+
+* :mod:`repro.topology` — butterflies, hypercubes, complete graphs, swap
+  networks and indirect swap networks (ISNs);
+* :mod:`repro.transform` — the ISN -> butterfly transformation
+  (swap-butterflies) with automorphism verification;
+* :mod:`repro.layout` — wire-level layout engines: optimal collinear
+  layouts of complete graphs (Appendix B) and the recursive grid layout
+  scheme under the Thompson and multilayer 2-D grid models (Sections 3-4),
+  with exact rule validation;
+* :mod:`repro.packaging` — partitioning, pin accounting, hierarchical
+  packaging and the Section 5.2 board example;
+* :mod:`repro.analysis` — every closed form in the paper plus
+  measured-vs-formula comparison helpers;
+* :mod:`repro.algorithms` — ascend/FFT dataflow verification and routing
+  simulation;
+* :mod:`repro.viz` — figure regeneration (SVG and text).
+
+Quickstart::
+
+    from repro import build_grid_layout, validate_layout
+    res = build_grid_layout((2, 2, 2))       # 6-dimensional butterfly
+    validate_layout(res.layout, res.graph).raise_if_failed()
+    print(res.layout.summary())
+"""
+
+from .analysis import (
+    format_table,
+    leading_constant_area,
+    leading_constant_wire,
+    multilayer_area,
+    multilayer_max_wire,
+    multilayer_volume,
+    num_nodes,
+    thompson_area,
+    thompson_max_wire,
+)
+from .layout import (
+    Layout,
+    build_grid_layout,
+    collinear_layout,
+    grid_dims,
+    multilayer_model,
+    optimal_track_count,
+    thompson_model,
+    validate_layout,
+)
+from .packaging import (
+    ChipSpec,
+    NucleusPartition,
+    RowPartition,
+    board_design,
+    count_off_module_links,
+    optimize_packaging,
+    paper_board_example,
+)
+from .topology import (
+    Butterfly,
+    Graph,
+    ISN,
+    SwapNetworkParams,
+    butterfly_graph,
+    isn_graph,
+)
+from .transform import SwapButterfly, verify_automorphism
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # topology
+    "Graph",
+    "Butterfly",
+    "butterfly_graph",
+    "ISN",
+    "isn_graph",
+    "SwapNetworkParams",
+    # transform
+    "SwapButterfly",
+    "verify_automorphism",
+    # layout
+    "Layout",
+    "thompson_model",
+    "multilayer_model",
+    "validate_layout",
+    "collinear_layout",
+    "optimal_track_count",
+    "build_grid_layout",
+    "grid_dims",
+    # packaging
+    "RowPartition",
+    "NucleusPartition",
+    "count_off_module_links",
+    "ChipSpec",
+    "board_design",
+    "paper_board_example",
+    "optimize_packaging",
+    # analysis
+    "num_nodes",
+    "thompson_area",
+    "thompson_max_wire",
+    "multilayer_area",
+    "multilayer_max_wire",
+    "multilayer_volume",
+    "leading_constant_area",
+    "leading_constant_wire",
+    "format_table",
+]

@@ -1,0 +1,26 @@
+"""Ascend/FFT dataflow execution and routing simulation on the topologies."""
+
+from .ascend import AscendTrace, run_on_butterfly, run_on_isn
+from .benes_routing import BenesSettings, apply_settings, num_switch_stages, route_permutation
+from .fft import dit_combine, fft_via_butterfly, fft_via_isn
+from .queued_routing import SimResult, saturation_per_node_rate, simulate_butterfly_queued
+from .routing import RoutingDemand, measure_offmodule_traffic, path_rows
+
+__all__ = [
+    "AscendTrace",
+    "BenesSettings",
+    "route_permutation",
+    "apply_settings",
+    "num_switch_stages",
+    "run_on_butterfly",
+    "run_on_isn",
+    "dit_combine",
+    "fft_via_butterfly",
+    "fft_via_isn",
+    "RoutingDemand",
+    "measure_offmodule_traffic",
+    "path_rows",
+    "SimResult",
+    "simulate_butterfly_queued",
+    "saturation_per_node_rate",
+]

@@ -1,0 +1,72 @@
+"""FFT executed over butterfly and ISN flow graphs (Section 2.2's argument).
+
+The radix-2 decimation-in-time FFT *is* an ascend algorithm: loading the
+input in bit-reversed order, step ``b`` combines partners differing in
+index bit ``b`` with twiddle ``exp(-2 pi i j / 2**(b+1))``.  Running it
+through :mod:`repro.algorithms.ascend` therefore proves functionally that
+
+* our ``B_n`` is the FFT flow graph (every data exchange is an edge), and
+* our ISNs compute the same FFT with extra forwarding over swap links —
+  the paper's core intuition for why bypassing swap stages yields a
+  butterfly automorphism.
+
+Results are compared against ``numpy.fft.fft`` in the tests and benches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..topology.bits import bit_reverse
+from ..topology.isn import ISN
+from .ascend import AscendTrace, run_on_butterfly, run_on_isn
+
+__all__ = ["dit_combine", "fft_via_butterfly", "fft_via_isn"]
+
+
+def dit_combine(
+    v0: np.ndarray, v1: np.ndarray, idx0: np.ndarray, bit: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One decimation-in-time butterfly: partners differing in ``bit``.
+
+    ``idx0`` are the indices with the bit clear; the twiddle exponent is
+    the low ``bit`` bits of the index.
+    """
+    m = 1 << (bit + 1)
+    j = idx0 & ((1 << bit) - 1)
+    tw = np.exp(-2j * np.pi * j / m)
+    t = tw * v1
+    return v0 + t, v0 - t
+
+
+def _bit_reversed(x: np.ndarray) -> np.ndarray:
+    R = len(x)
+    n = R.bit_length() - 1
+    perm = np.array([bit_reverse(k, n) for k in range(R)])
+    return x[perm]
+
+
+def fft_via_butterfly(
+    x: Sequence[complex], trace: AscendTrace | None = None
+) -> np.ndarray:
+    """DFT of ``x`` computed by the ascend algorithm on ``B_n``."""
+    arr = np.asarray(x, dtype=complex)
+    return run_on_butterfly(_bit_reversed(arr), dit_combine, trace=trace)
+
+
+def fft_via_isn(x: Sequence[complex], isn: ISN) -> np.ndarray:
+    """DFT of ``x`` computed on the ISN (with swap-link forwarding).
+
+    The ISN's physical output order is the composite permutation of all
+    swap levels; we un-permute by the tracked logical indices before
+    returning, so the result is directly comparable to ``numpy.fft.fft``.
+    """
+    arr = np.asarray(x, dtype=complex)
+    if len(arr) != isn.rows:
+        raise ValueError(f"need {isn.rows} samples, got {len(arr)}")
+    vals, logical = run_on_isn(_bit_reversed(arr), isn, dit_combine)
+    out = np.empty_like(vals)
+    out[logical] = vals
+    return out

@@ -1,0 +1,170 @@
+"""Dynamic (queued) routing on butterflies: the injection-rate wall.
+
+Section 2.3's lower bound rests on "the maximum injection rate is
+Theta(1/log R) since the average distance is O(log R) and the traffic is
+balanced".  :mod:`repro.algorithms.routing` verifies the *static* side
+(balanced path counts); this module adds the *dynamic* side: a
+synchronous store-and-forward simulator with unit-capacity links and
+FIFO queues, showing
+
+* throughput tracking offered load up to a per-input rate near 1 —
+  i.e. a per-**node** rate ``~ 1/(n+1) = Theta(1/log N)``, the paper's
+  injection-rate ceiling; and
+* queueing delay exploding as the offered load approaches the wall.
+
+The simulator is deliberately simple (one FIFO per output link, one
+packet per link per cycle, infinite buffers) — it is the model under
+which the paper's counting argument is exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+import numpy as np
+
+__all__ = ["SimResult", "simulate_butterfly_queued", "saturation_per_node_rate"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulation run."""
+
+    n: int
+    rate_per_input: float
+    cycles: int
+    offered: int  # packets injected
+    delivered: int  # packets that reached stage n
+    avg_latency: float  # cycles from injection to delivery (delivered only)
+    max_queue: int  # largest backlog observed
+
+    @property
+    def rows(self) -> int:
+        return 1 << self.n
+
+    @property
+    def throughput_per_input(self) -> float:
+        return self.delivered / (self.cycles * self.rows)
+
+    @property
+    def rate_per_node(self) -> float:
+        """Offered rate normalised per network node (the paper's figure):
+        ``R`` inputs inject into ``N = (n+1) R`` nodes."""
+        return self.rate_per_input / (self.n + 1)
+
+    @property
+    def accepted_fraction(self) -> float:
+        return self.delivered / max(self.offered, 1)
+
+
+def simulate_butterfly_queued(
+    n: int,
+    rate_per_input: float,
+    cycles: int = 2000,
+    warmup: int = 200,
+    seed: int = 0,
+) -> SimResult:
+    """Simulate Bernoulli(``rate_per_input``) arrivals per input per cycle
+    with uniform random destinations.
+
+    Queues: one FIFO per (node, output link).  Each cycle every link
+    forwards at most one packet; packets choose the straight or cross
+    link by their destination's bit at the current stage.  Delivery and
+    latency are measured for packets injected after ``warmup``.
+    """
+    if not 0 < rate_per_input <= 1:
+        raise ValueError(f"rate must be in (0, 1], got {rate_per_input}")
+    if n < 1 or cycles < 1:
+        raise ValueError("need n >= 1 and cycles >= 1")
+    R = 1 << n
+    rng = np.random.default_rng(seed)
+    # queues[s][r][o]: packets at node (r, s) waiting on output o
+    # (0 = straight, 1 = cross); a packet is (dest_row, inject_cycle)
+    queues: List[List[Tuple[Deque, Deque]]] = [
+        [(deque(), deque()) for _ in range(R)] for _ in range(n)
+    ]
+    offered = delivered = 0
+    latency_total = 0
+    max_queue = 0
+
+    inject = rng.random((cycles, R)) < rate_per_input
+    dests = rng.integers(0, R, size=(cycles, R))
+
+    for t in range(cycles):
+        # advance stages back-to-front so a packet moves one hop per cycle
+        for s in range(n - 1, -1, -1):
+            bit = 1 << s
+            for r in range(R):
+                straight, cross = queues[s][r]
+                # straight link (r,s)->(r,s+1)
+                if straight:
+                    pkt = straight.popleft()
+                    if s + 1 == n:
+                        if pkt[1] >= warmup:
+                            delivered += 1
+                            latency_total += t + 1 - pkt[1]
+                    else:
+                        _enqueue(queues, pkt, r, s + 1, n)
+                # cross link (r,s)->(r^bit,s+1)
+                if cross:
+                    pkt = cross.popleft()
+                    if s + 1 == n:
+                        if pkt[1] >= warmup:
+                            delivered += 1
+                            latency_total += t + 1 - pkt[1]
+                    else:
+                        _enqueue(queues, pkt, r ^ bit, s + 1, n)
+        # injections at stage 0
+        for r in np.nonzero(inject[t])[0]:
+            pkt = (int(dests[t, r]), t)
+            if t >= warmup:
+                offered += 1
+            _enqueue(queues, pkt, int(r), 0, n)
+        if t % 64 == 0:
+            backlog = max(
+                len(q)
+                for stage in queues
+                for node in stage
+                for q in node
+            )
+            max_queue = max(max_queue, backlog)
+
+    avg_latency = latency_total / delivered if delivered else float("inf")
+    return SimResult(
+        n=n,
+        rate_per_input=rate_per_input,
+        cycles=cycles,
+        offered=offered,
+        delivered=delivered,
+        avg_latency=avg_latency,
+        max_queue=max_queue,
+    )
+
+
+def _enqueue(queues, pkt, r: int, s: int, n: int) -> None:
+    dest = pkt[0]
+    out = 1 if ((r ^ dest) >> s) & 1 else 0
+    queues[s][r][out].append(pkt)
+
+
+def saturation_per_node_rate(
+    n: int,
+    cycles: int = 1500,
+    threshold: float = 0.95,
+    seed: int = 0,
+) -> float:
+    """Largest tested per-node rate whose throughput stays within
+    ``threshold`` of offered load (coarse bisection over per-input
+    rates)."""
+    lo, hi = 0.1, 1.0
+    best = lo
+    for _ in range(6):
+        mid = (lo + hi) / 2
+        res = simulate_butterfly_queued(n, mid, cycles=cycles, seed=seed)
+        if res.accepted_fraction >= threshold:
+            best, lo = mid, mid
+        else:
+            hi = mid
+    return best / (n + 1)

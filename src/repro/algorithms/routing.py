@@ -1,0 +1,121 @@
+"""Uniform random routing on partitioned butterflies (Section 2.3's
+lower-bound argument, made empirical).
+
+A packet from input ``(x, 0)`` to output ``(y, n)`` follows the unique
+forward path whose row at stage ``s`` takes its low ``s`` bits from the
+destination and the rest from the source.  For a module partition, the
+off-module traffic per module per step bounds the pins the module needs:
+with uniform sources/destinations the demand is ``Theta(M / log R)`` for
+an ``M``-node module — the paper's matching lower bound for Theorem 2.1.
+
+Everything is vectorised over packets with numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..topology.swap import SwapNetworkParams
+from ..transform.swap_butterfly import SwapButterfly
+
+__all__ = ["RoutingDemand", "path_rows", "measure_offmodule_traffic"]
+
+
+def path_rows(n: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Rows visited per stage: shape ``(n + 1, num_packets)``.
+
+    ``row_s = (src & ~mask_s) | (dst & mask_s)`` with ``mask_s = 2**s - 1``:
+    destination bits are fixed one per stage boundary, in ascend order.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    rows = np.empty((n + 1, len(src)), dtype=np.int64)
+    for s in range(n + 1):
+        mask = (1 << s) - 1
+        rows[s] = (src & ~mask) | (dst & mask)
+    return rows
+
+
+def _sigma_vec(params: SwapNetworkParams, level: int, x: np.ndarray) -> np.ndarray:
+    """Vectorised level swap on an int64 array."""
+    if level == 1:
+        return x
+    offs = params.offsets
+    k = params.ks[level - 1]
+    lo = offs[level - 1]
+    mask = (1 << k) - 1
+    low = x & mask
+    high = (x >> lo) & mask
+    cleared = x & ~((mask << lo) | mask)
+    return cleared | (low << lo) | high
+
+
+def _phi_vec(sb: SwapButterfly, s: int, x: np.ndarray) -> np.ndarray:
+    """Vectorised automorphism map: physical rows of logical rows at stage s."""
+    offs = sb.params.offsets
+    u = x
+    for level in range(2, sb.params.l + 1):
+        if s > offs[level - 1]:
+            u = _sigma_vec(sb.params, level, u)
+    return u
+
+
+@dataclass
+class RoutingDemand:
+    """Measured off-module traffic for one partition."""
+
+    num_packets: int
+    rows_per_module: int
+    crossings_per_module: Dict[int, int]  # off-module traversals touching m
+    total_crossings: int
+
+    @property
+    def max_per_module(self) -> int:
+        return max(self.crossings_per_module.values(), default=0)
+
+    def demand_per_module_per_packet(self) -> float:
+        """Average boundary traversals charged to a module, per packet."""
+        if not self.crossings_per_module:
+            return 0.0
+        return self.total_crossings * 2 / (
+            len(self.crossings_per_module) * self.num_packets
+        )
+
+
+def measure_offmodule_traffic(
+    ks,
+    num_packets: int = 10000,
+    rng: Optional[np.random.Generator] = None,
+) -> RoutingDemand:
+    """Route random packets through the swap-butterfly and count module
+    boundary traversals under the row partition (``2**k1`` rows/module)."""
+    params = SwapNetworkParams(ks)
+    sb = SwapButterfly(params)
+    n, R = params.n, params.num_rows
+    k1 = params.ks[0]
+    rng = rng or np.random.default_rng(0)
+    src = rng.integers(0, R, size=num_packets)
+    dst = rng.integers(0, R, size=num_packets)
+    logical = path_rows(n, src, dst)
+    # physical rows (the partition is defined on swap-butterfly rows)
+    phys = np.empty_like(logical)
+    for s in range(n + 1):
+        phys[s] = _phi_vec(sb, s, logical[s])
+    modules = phys >> k1
+    per_module: Dict[int, int] = {}
+    total = 0
+    for s in range(n):
+        a, b = modules[s], modules[s + 1]
+        cross = a != b
+        total += int(cross.sum())
+        for m in np.concatenate([a[cross], b[cross]]):
+            per_module[int(m)] = per_module.get(int(m), 0) + 1
+    return RoutingDemand(
+        num_packets=num_packets,
+        rows_per_module=1 << k1,
+        crossings_per_module=per_module,
+        total_crossings=total,
+    )

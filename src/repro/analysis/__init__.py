@@ -1,0 +1,57 @@
+"""Closed forms, lower bounds and measured-vs-paper comparison helpers."""
+
+from .bounds import collinear_track_lower_bound, injection_rate, pin_lower_bound
+from .comparison import (
+    Row,
+    format_table,
+    leading_constant_area,
+    leading_constant_volume,
+    leading_constant_wire,
+)
+from .wirestats import WireStats, length_histogram, wire_stats
+from .formulas import (
+    avior_area,
+    dinitz_area,
+    log2N,
+    max_node_side_multilayer,
+    max_node_side_thompson,
+    multilayer_area,
+    multilayer_max_wire,
+    multilayer_volume,
+    muthukrishnan_area,
+    num_nodes,
+    offmodule_avg_per_node,
+    offmodule_avg_upper_bounds,
+    thompson_area,
+    thompson_max_wire,
+    yeh_previous_max_wire,
+)
+
+__all__ = [
+    "num_nodes",
+    "log2N",
+    "thompson_area",
+    "thompson_max_wire",
+    "multilayer_area",
+    "multilayer_max_wire",
+    "multilayer_volume",
+    "avior_area",
+    "muthukrishnan_area",
+    "dinitz_area",
+    "yeh_previous_max_wire",
+    "offmodule_avg_per_node",
+    "offmodule_avg_upper_bounds",
+    "max_node_side_thompson",
+    "max_node_side_multilayer",
+    "collinear_track_lower_bound",
+    "injection_rate",
+    "pin_lower_bound",
+    "leading_constant_area",
+    "leading_constant_wire",
+    "leading_constant_volume",
+    "Row",
+    "format_table",
+    "WireStats",
+    "wire_stats",
+    "length_histogram",
+]

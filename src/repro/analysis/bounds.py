@@ -1,0 +1,53 @@
+"""Lower bounds the paper's constructions are measured against.
+
+* collinear tracks: the bisection width of ``K_N`` (Appendix B);
+* off-module pins: the random-routing injection-rate argument of Section
+  2.3 — an ``M``-node module must provide ``Omega(M / log R)`` off-module
+  links to sustain the butterfly's balanced-traffic injection rate
+  ``Theta(1/log R)``.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from ..topology.properties import complete_graph_bisection_width
+
+__all__ = [
+    "collinear_track_lower_bound",
+    "injection_rate",
+    "pin_lower_bound",
+]
+
+
+def collinear_track_lower_bound(n: int) -> int:
+    """Bisection-based lower bound on collinear tracks for ``K_n``:
+    ``floor(n^2/4)`` — any set of tracks must carry all links crossing the
+    middle cut of the node row."""
+    return complete_graph_bisection_width(n)
+
+
+def injection_rate(R: int) -> float:
+    """Sustainable per-node injection rate for uniform random routing on an
+    ``R x R`` butterfly: each packet traverses ``log2 R`` stage boundaries,
+    each boundary offers ``2R`` links, so at rate ``rho`` per input the
+    per-link load is balanced at ``rho/2`` — the throughput wall is
+    ``Theta(1/log R)`` packets per node per step once demand is normalised
+    per *network node* (``N ~ R log R``)."""
+    if R < 2 or R & (R - 1):
+        raise ValueError(f"R must be a power of two >= 2, got {R}")
+    return 1.0 / math.log2(R)
+
+
+def pin_lower_bound(module_nodes: int, R: int) -> float:
+    """``Omega(M / log R)`` off-module links for an ``M``-node module.
+
+    Each node injects ``Theta(1/log R)`` packets per step towards uniform
+    destinations; a fraction ``1 - M/N`` of traffic must leave the module,
+    so the module's boundary must carry ``~ M / log2 R`` packets per step
+    with unit-capacity links.
+    """
+    if module_nodes < 1:
+        raise ValueError("module must contain at least one node")
+    return module_nodes / math.log2(R)

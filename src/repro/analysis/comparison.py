@@ -1,0 +1,78 @@
+"""Measured-vs-formula comparison utilities.
+
+Benches use these helpers to produce the paper-vs-measured rows recorded
+in EXPERIMENTS.md: leading-constant estimates from constructed layouts,
+ratio tables across parameter sweeps, and a plain-text table formatter
+(no external dependencies, stable output for regression).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from .formulas import log2N, num_nodes
+
+__all__ = [
+    "leading_constant_area",
+    "leading_constant_wire",
+    "leading_constant_volume",
+    "Row",
+    "format_table",
+]
+
+
+def leading_constant_area(measured_area: float, n: int, L: int = 2) -> float:
+    """Estimate ``c`` in ``area = c * 4N^2/(L'^2 log2^2 N)`` where ``L'^2``
+    is ``L^2`` (even) or ``L^2 - 1`` (odd).  The paper's layouts achieve
+    ``c -> 1``; under the Thompson model (L = 2) this equals
+    ``area / (N^2/log2^2 N)``."""
+    N = num_nodes(n)
+    denom = L * L if L % 2 == 0 else L * L - 1
+    return measured_area * denom * log2N(n) ** 2 / (4 * N * N)
+
+
+def leading_constant_wire(measured_wire: float, n: int, L: int = 2) -> float:
+    """Estimate ``c`` in ``maxwire = c * 2N/(L log2 N)``."""
+    return measured_wire * L * log2N(n) / (2 * num_nodes(n))
+
+
+def leading_constant_volume(measured_volume: float, n: int, L: int = 2) -> float:
+    """Estimate ``c`` in ``volume = c * 4N^2/(L log2^2 N)``."""
+    N = num_nodes(n)
+    return measured_volume * L * log2N(n) ** 2 / (4 * N * N)
+
+
+Row = Dict[str, object]
+
+
+def format_table(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
+    """Fixed-width plain-text table; floats rendered to 4 significant
+    digits, everything else ``str()``."""
+    if not rows:
+        return "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def fmt(v: object) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1e6 or abs(v) < 1e-3:
+                return f"{v:.3e}"
+            return f"{v:.4g}"
+        return str(v)
+
+    table = [[fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(cols, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

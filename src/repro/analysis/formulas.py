@@ -1,0 +1,142 @@
+"""Every displayed formula of the paper, as plain functions.
+
+Leading terms only (the ``o(.)`` corrections are what our constructive
+layouts measure); all take the butterfly dimension ``n`` (so
+``N = (n+1) 2**n`` and ``log2 N`` is evaluated exactly as ``log2`` of that
+``N``, matching the paper's use of ``N`` for the node count).
+
+Prior-work area constants (Section 1):
+
+================================  ======================================
+Avior et al. [1] (2 layers)        ``N^2 / log2^2 N``  (upright rectangle)
+Muthukrishnan et al. [16]          ``2 N^2 / (3 log2^2 N)``  (knock-knee)
+Dinitz et al. [10]                 ``N^2 / (2 log2^2 N)``  (45-degree
+                                   slanted rectangle)
+Yeh et al. [26, 27]                ``N^2 / log2^2 N``, max wire
+                                   ``2N / log2 N``
+This paper (Thompson)              ``N^2 / log2^2 N``, max wire
+                                   ``N / log2 N``
+This paper (L layers, even)        area ``4N^2/(L^2 log2^2 N)``, wire
+                                   ``2N/(L log2 N)``, volume
+                                   ``4N^2/(L log2^2 N)``
+================================  ======================================
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+__all__ = [
+    "num_nodes",
+    "log2N",
+    "thompson_area",
+    "thompson_max_wire",
+    "multilayer_area",
+    "multilayer_max_wire",
+    "multilayer_volume",
+    "avior_area",
+    "muthukrishnan_area",
+    "dinitz_area",
+    "yeh_previous_max_wire",
+    "offmodule_avg_per_node",
+    "offmodule_avg_upper_bounds",
+    "max_node_side_thompson",
+    "max_node_side_multilayer",
+]
+
+
+def num_nodes(n: int) -> int:
+    """``N = (n + 1) 2**n`` nodes of ``B_n``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (n + 1) << n
+
+
+def log2N(n: int) -> float:
+    """``log2 N`` for ``B_n``."""
+    return math.log2(num_nodes(n))
+
+
+def thompson_area(n: int) -> float:
+    """Section 3: ``N^2 / log2^2 N`` (optimal within ``1 + o(1)``)."""
+    N = num_nodes(n)
+    return N * N / log2N(n) ** 2
+
+
+def thompson_max_wire(n: int) -> float:
+    """Section 3: ``N / log2 N``."""
+    return num_nodes(n) / log2N(n)
+
+
+def multilayer_area(n: int, L: int) -> float:
+    """Theorem 4.1: ``4N^2/(L^2 log2^2 N)`` even ``L``;
+    ``4N^2/((L^2-1) log2^2 N)`` odd ``L``."""
+    if L < 2:
+        raise ValueError(f"L must be >= 2, got {L}")
+    N = num_nodes(n)
+    denom = L * L if L % 2 == 0 else L * L - 1
+    return 4 * N * N / (denom * log2N(n) ** 2)
+
+
+def multilayer_max_wire(n: int, L: int) -> float:
+    """Section 4.2: ``2N / (L log2 N)``."""
+    if L < 2:
+        raise ValueError(f"L must be >= 2, got {L}")
+    return 2 * num_nodes(n) / (L * log2N(n))
+
+
+def multilayer_volume(n: int, L: int) -> float:
+    """Section 4.2: ``4N^2 / (L log2^2 N)`` (area times ``L``)."""
+    return multilayer_area(n, L) * L
+
+
+def avior_area(n: int) -> float:
+    """Avior et al. [1]: ``N^2 / log2^2 N`` with two wire layers."""
+    return thompson_area(n)
+
+
+def muthukrishnan_area(n: int) -> float:
+    """Muthukrishnan et al. [16], knock-knee model: ``2N^2/(3 log2^2 N)``."""
+    N = num_nodes(n)
+    return 2 * N * N / (3 * log2N(n) ** 2)
+
+
+def dinitz_area(n: int) -> float:
+    """Dinitz et al. [10], slanted rectangle: ``N^2 / (2 log2^2 N)``."""
+    N = num_nodes(n)
+    return N * N / (2 * log2N(n) ** 2)
+
+
+def yeh_previous_max_wire(n: int) -> float:
+    """The authors' earlier layouts [26, 27]: max wire ``2N / log2 N`` —
+    this paper improves it by the factor 2 (and by ``L`` with ``L``
+    layers)."""
+    return 2 * num_nodes(n) / log2N(n)
+
+
+def offmodule_avg_per_node(l: int, k1: int) -> Fraction:
+    """Section 2.3 display for HSN-derived partitions:
+    ``4(l-1)(2**k1 - 1) / ((n_l + 1) 2**k1)`` with ``n_l = l k1``."""
+    if l < 2 or k1 < 1:
+        raise ValueError(f"need l >= 2, k1 >= 1; got l={l} k1={k1}")
+    n = l * k1
+    return Fraction(4 * (l - 1) * ((1 << k1) - 1), (n + 1) * (1 << k1))
+
+
+def offmodule_avg_upper_bounds(l: int, k1: int) -> tuple:
+    """The paper's chain: value < 4(l-1)/(n_l+1) < 4/k1."""
+    n = l * k1
+    return (Fraction(4 * (l - 1), n + 1), Fraction(4, k1))
+
+
+def max_node_side_thompson(n: int) -> float:
+    """Node-size scalability (Section 3.3): any ``W = o(sqrt(N)/log N)``
+    leaves the leading constants intact; this returns the threshold
+    ``sqrt(N)/log2 N`` itself."""
+    return math.sqrt(num_nodes(n)) / log2N(n)
+
+
+def max_node_side_multilayer(n: int, L: int) -> float:
+    """Section 4.2: ``W = o(sqrt(N)/(L log N))``."""
+    return math.sqrt(num_nodes(n)) / (L * log2N(n))

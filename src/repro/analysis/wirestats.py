@@ -1,0 +1,72 @@
+"""Wire-length statistics for layouts.
+
+The paper's headline wire metric is the *maximum* length (signal delay);
+distributional statistics sharpen the comparison between layout shapes —
+the grid scheme trades a slightly larger area constant for a much
+shorter tail than the stage-column shape, which is exactly the paper's
+argument for its scheme (propagation delay, drive power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..layout.model import Layout
+
+__all__ = ["WireStats", "wire_stats", "length_histogram"]
+
+
+@dataclass(frozen=True)
+class WireStats:
+    count: int
+    total: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    max: int
+
+    def as_row(self, label: str) -> Dict[str, object]:
+        return {
+            "layout": label,
+            "wires": self.count,
+            "mean len": round(self.mean, 1),
+            "median": round(self.median, 1),
+            "p90": round(self.p90, 1),
+            "p99": round(self.p99, 1),
+            "max": self.max,
+        }
+
+
+def wire_stats(layout: Layout) -> WireStats:
+    """Length distribution summary over all wires."""
+    lengths = np.array([w.length for w in layout.wires], dtype=float)
+    if len(lengths) == 0:
+        raise ValueError("layout has no wires")
+    return WireStats(
+        count=len(lengths),
+        total=int(lengths.sum()),
+        mean=float(lengths.mean()),
+        median=float(np.median(lengths)),
+        p90=float(np.percentile(lengths, 90)),
+        p99=float(np.percentile(lengths, 99)),
+        max=int(lengths.max()),
+    )
+
+
+def length_histogram(
+    layout: Layout, bins: Sequence[float]
+) -> List[Tuple[str, int]]:
+    """Counts of wires per length bin (``bins`` are the right edges)."""
+    lengths = np.array([w.length for w in layout.wires], dtype=float)
+    out: List[Tuple[str, int]] = []
+    lo = 0.0
+    for hi in bins:
+        c = int(((lengths > lo) & (lengths <= hi)).sum())
+        out.append((f"({lo:.0f}, {hi:.0f}]", c))
+        lo = hi
+    out.append((f"> {lo:.0f}", int((lengths > lo).sum())))
+    return out

@@ -1,0 +1,406 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the library's main entry points:
+
+==============  ========================================================
+``verify``      check the ISN -> butterfly automorphism for a parameter
+                vector
+``layout``      build + validate a wire-level butterfly layout; print
+                measurements, optionally write an SVG
+``dims``        closed-form layout dimensions (works at any ``n``)
+``collinear``   optimal collinear layout of ``K_N``
+``board``       the Section 5.2 board calculator
+``optimize``    packaging parameter search under pin/size limits
+``multilevel``  per-level pins of a nested packaging hierarchy
+``hypercube``   2-D hypercube layout (companion-claim extension)
+``ccc``         cube-connected-cycles layout (extension)
+``omega``       omega-network layout + destination-tag routing check
+``sort``        run the bitonic sorting network
+``isn-layout``  stage-column layout of an ISN itself
+``benes``       route random permutations through a Benes network
+``fft``         run an FFT over an ISN flow graph, compare with numpy
+``figures``     print the paper's text figures (1, 2, 4)
+==============  ========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.comparison import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _ks(value: str) -> tuple:
+    try:
+        ks = tuple(int(x) for x in value.replace(" ", "").split(","))
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(f"bad parameter vector {value!r}") from e
+    if not ks:
+        raise argparse.ArgumentTypeError("empty parameter vector")
+    return ks
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'VLSI Layout and Packaging of "
+        "Butterfly Networks' (SPAA 2000)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    v = sub.add_parser("verify", help="verify the ISN -> butterfly automorphism")
+    v.add_argument("--ks", type=_ks, required=True, help="e.g. 3,3,3")
+    v.add_argument("--materialize", action="store_true",
+                   help="full graph comparison instead of generator check")
+
+    l = sub.add_parser("layout", help="build + validate a butterfly layout")
+    l.add_argument("--ks", type=_ks, required=True)
+    l.add_argument("--layers", type=int, default=2)
+    l.add_argument("--node-side", type=int, default=4)
+    l.add_argument("--svg", type=str, default=None)
+    l.add_argument("--no-validate", action="store_true")
+
+    d = sub.add_parser("dims", help="closed-form layout dimensions")
+    d.add_argument("--ks", type=_ks, required=True)
+    d.add_argument("--layers", type=int, default=2)
+    d.add_argument("--node-side", type=int, default=4)
+
+    c = sub.add_parser("collinear", help="collinear layout of K_N")
+    c.add_argument("-n", type=int, required=True)
+    c.add_argument("--multiplicity", type=int, default=1)
+    c.add_argument("--order", choices=["forward", "reversed"], default="forward")
+    c.add_argument("--svg", type=str, default=None)
+    c.add_argument("--tracks", action="store_true", help="print the track map")
+
+    b = sub.add_parser("board", help="Section 5.2 board calculator")
+    b.add_argument("--ks", type=_ks, default=(3, 3, 3))
+    b.add_argument("--pins", type=int, default=64)
+    b.add_argument("--chip-side", type=int, default=20)
+    b.add_argument("--layers", type=int, default=2)
+    b.add_argument("--svg", type=str, default=None,
+                   help="write a chip-grid schematic SVG")
+
+    o = sub.add_parser("optimize", help="packaging parameter search")
+    o.add_argument("-n", type=int, required=True)
+    o.add_argument("--max-pins", type=int, default=None)
+    o.add_argument("--max-nodes", type=int, default=None)
+    o.add_argument("--max-l", type=int, default=4)
+    o.add_argument("--top", type=int, default=8)
+
+    m = sub.add_parser("multilevel", help="nested hierarchy pin accounting")
+    m.add_argument("--ks", type=_ks, required=True)
+
+    h = sub.add_parser("hypercube", help="2-D hypercube layout (extension)")
+    h.add_argument("-n", type=int, required=True)
+    h.add_argument("--layers", type=int, default=2)
+    h.add_argument("--svg", type=str, default=None)
+
+    cc = sub.add_parser("ccc", help="cube-connected cycles layout (extension)")
+    cc.add_argument("-n", type=int, required=True)
+    cc.add_argument("--layers", type=int, default=2)
+    cc.add_argument("--svg", type=str, default=None)
+
+    om = sub.add_parser("omega", help="omega network layout + routing check")
+    om.add_argument("-n", type=int, required=True)
+    om.add_argument("--layers", type=int, default=2)
+
+    so = sub.add_parser("sort", help="run the bitonic sorting network")
+    so.add_argument("-n", type=int, required=True, help="2**n values")
+    so.add_argument("--seed", type=int, default=0)
+
+    isn = sub.add_parser("isn-layout", help="stage-column layout of an ISN")
+    isn.add_argument("--ks", type=_ks, required=True)
+    isn.add_argument("--layers", type=int, default=2)
+
+    be = sub.add_parser("benes", help="Benes permutation routing")
+    be.add_argument("-n", type=int, required=True, help="2**n terminals")
+    be.add_argument("--permutations", type=int, default=3)
+    be.add_argument("--seed", type=int, default=0)
+
+    f = sub.add_parser("fft", help="FFT over an ISN flow graph")
+    f.add_argument("--ks", type=_ks, required=True)
+    f.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("figures", help="print the paper's text figures")
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = globals()[f"_cmd_{args.command.replace('-', '_')}"]
+    return handler(args)
+
+
+def _cmd_verify(args) -> int:
+    from .transform import verify_automorphism
+
+    ok = verify_automorphism(args.ks, materialize=args.materialize)
+    n = sum(args.ks)
+    mode = "graph comparison" if args.materialize else "generator check"
+    print(f"ISN{args.ks} -> B_{n} automorphism ({mode}): {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _cmd_layout(args) -> int:
+    from .layout import build_grid_layout, validate_layout
+    from .viz.svg import save_svg
+
+    res = build_grid_layout(args.ks, W=args.node_side, L=args.layers)
+    if not args.no_validate:
+        rep = validate_layout(res.layout, res.graph)
+        print(f"validation: {'OK' if rep.ok else 'FAILED'}")
+        if not rep.ok:
+            for e in rep.errors[:10]:
+                print(f"  {e}")
+            return 1
+    rows = [{"metric": k, "value": v} for k, v in res.layout.summary().items()]
+    print(format_table(rows))
+    if args.svg:
+        print(f"wrote {save_svg(res.layout, args.svg, scale=1.5)}")
+    return 0
+
+
+def _cmd_dims(args) -> int:
+    from .layout import grid_dims
+
+    d = grid_dims(args.ks, W=args.node_side, L=args.layers)
+    rows = [{"metric": k, "value": v} for k, v in d.summary().items()]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_collinear(args) -> int:
+    from .layout import collinear_layout, validate_layout
+    from .viz.ascii import collinear_figure
+    from .viz.svg import save_svg
+
+    cl = collinear_layout(args.n, multiplicity=args.multiplicity, order=args.order)
+    rep = validate_layout(cl.layout, cl.graph)
+    s = cl.summary()
+    print(
+        f"K_{args.n} x{args.multiplicity} ({args.order}): {s['tracks']} tracks, "
+        f"max wire {s['max_wire_length']}, area {s['area']}, "
+        f"valid={'OK' if rep.ok else 'FAILED'}"
+    )
+    if args.tracks:
+        print(collinear_figure(args.n, args.order))
+    if args.svg:
+        print(f"wrote {save_svg(cl.layout, args.svg, scale=4)}")
+    return 0 if rep.ok else 1
+
+
+def _cmd_board(args) -> int:
+    from .packaging import ChipSpec, board_design
+    from .viz.board_svg import save_board_svg
+
+    d = board_design(
+        args.ks, ChipSpec(max_pins=args.pins, side=args.chip_side), layers=args.layers
+    )
+    rows = [{"metric": k, "value": v} for k, v in d.summary().items()]
+    print(format_table(rows))
+    if args.svg:
+        print(f"wrote {save_board_svg(d, args.svg)}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from .packaging import optimize_packaging
+
+    cands = optimize_packaging(
+        args.n,
+        max_nodes_per_module=args.max_nodes,
+        max_pins_per_module=args.max_pins,
+        max_l=args.max_l,
+    )
+    if not cands:
+        print("no feasible design")
+        return 1
+    rows = [
+        {
+            "ks": c.ks,
+            "scheme": c.scheme,
+            "modules": c.num_modules,
+            "max nodes": c.max_nodes_per_module,
+            "pins": c.pins_per_module,
+            "avg links/node": float(c.avg_links_per_node),
+        }
+        for c in cands[: args.top]
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_multilevel(args) -> int:
+    from .packaging.multilevel import multilevel_design
+
+    rows = [
+        {
+            "level": s.level,
+            "rows/module": 1 << s.row_bits,
+            "modules": s.num_modules,
+            "nodes/module": s.nodes_per_module,
+            "pins (ours)": s.pins_per_module,
+            "pins (naive)": s.naive_pins_same_size,
+        }
+        for s in multilevel_design(args.ks)
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_hypercube(args) -> int:
+    from .layout.hypercube_layout import hypercube_2d_layout
+    from .layout.validate import validate_layout
+    from .viz.svg import save_svg
+
+    res = hypercube_2d_layout(args.n, L=args.layers)
+    rep = validate_layout(res.layout, res.graph)
+    s = res.layout.summary()
+    print(
+        f"Q_{args.n} (L={args.layers}): area {s['area']}, max wire "
+        f"{s['max_wire_length']}, valid={'OK' if rep.ok else 'FAILED'}"
+    )
+    if args.svg:
+        print(f"wrote {save_svg(res.layout, args.svg, scale=2)}")
+    return 0 if rep.ok else 1
+
+
+def _cmd_ccc(args) -> int:
+    from .layout.ccc_layout import ccc_2d_layout
+    from .layout.validate import validate_layout
+    from .viz.svg import save_svg
+
+    res = ccc_2d_layout(args.n, L=args.layers)
+    rep = validate_layout(res.layout, res.graph)
+    s = res.layout.summary()
+    print(
+        f"CCC({args.n}) (L={args.layers}): {s['nodes']} nodes, area "
+        f"{s['area']}, max wire {s['max_wire_length']}, "
+        f"valid={'OK' if rep.ok else 'FAILED'}"
+    )
+    if args.svg:
+        print(f"wrote {save_svg(res.layout, args.svg, scale=2)}")
+    return 0 if rep.ok else 1
+
+
+def _cmd_omega(args) -> int:
+    from .layout.multistage import build_multistage_layout
+    from .layout.validate import validate_layout
+    from .topology.omega import Omega, destination_tag_route
+
+    om = Omega(args.n)
+    res = build_multistage_layout(
+        om.rows, om.boundary_link_lists(), L=args.layers, name="omega"
+    )
+    rep = validate_layout(res.layout, res.graph)
+    checked = 0
+    for dst in range(om.rows):
+        path = destination_tag_route(args.n, 0, dst)
+        for st_, (x, y) in enumerate(zip(path, path[1:])):
+            assert res.graph.has_edge((x, st_), (y, st_ + 1))
+        checked += 1
+    print(
+        f"omega({args.n}): area {res.layout.area}, "
+        f"valid={'OK' if rep.ok else 'FAILED'}, "
+        f"destination-tag routes checked: {checked}"
+    )
+    return 0 if rep.ok else 1
+
+
+def _cmd_sort(args) -> int:
+    import numpy as np
+
+    from .topology.bitonic import bitonic_num_stages, bitonic_sort
+
+    rng = np.random.default_rng(args.seed)
+    x = rng.integers(0, 1000, size=1 << args.n)
+    y = bitonic_sort(x)
+    ok = bool(np.array_equal(y, np.sort(x)))
+    print(
+        f"bitonic sorter: {1 << args.n} values through "
+        f"{bitonic_num_stages(args.n)} compare-exchange stages, "
+        f"sorted={'OK' if ok else 'FAILED'}"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_isn_layout(args) -> int:
+    from .layout.multistage import build_multistage_layout
+    from .layout.validate import validate_layout
+    from .topology.isn import ISN
+
+    isn = ISN.from_ks(args.ks)
+    res = build_multistage_layout(
+        isn.rows, isn.boundary_link_lists(), L=args.layers, name=f"ISN{args.ks}"
+    )
+    rep = validate_layout(res.layout, res.graph)
+    print(
+        f"ISN{args.ks}: {isn.rows} rows x {isn.stages} stages, area "
+        f"{res.layout.area}, valid={'OK' if rep.ok else 'FAILED'}"
+    )
+    return 0 if rep.ok else 1
+
+
+def _cmd_benes(args) -> int:
+    import random
+
+    from .algorithms.benes_routing import apply_settings, route_permutation
+
+    rng = random.Random(args.seed)
+    N = 1 << args.n
+    ok = True
+    for trial in range(args.permutations):
+        perm = list(range(N))
+        rng.shuffle(perm)
+        settings = route_permutation(perm)
+        realized = apply_settings(settings)
+        match = realized == perm
+        ok &= match
+        print(
+            f"perm {trial}: N={N}, crossed switches "
+            f"{settings.count_crossed()}/{(2 * args.n - 1) * N // 2}, "
+            f"realized={'OK' if match else 'MISMATCH'}"
+        )
+    return 0 if ok else 1
+
+
+def _cmd_fft(args) -> int:
+    import numpy as np
+
+    from .algorithms.fft import fft_via_isn
+    from .topology.isn import ISN
+
+    isn = ISN.from_ks(args.ks)
+    rng = np.random.default_rng(args.seed)
+    x = rng.normal(size=isn.rows) + 1j * rng.normal(size=isn.rows)
+    err = float(np.max(np.abs(fft_via_isn(x, isn) - np.fft.fft(x))))
+    print(
+        f"FFT over ISN{args.ks}: {isn.rows} points, {isn.stages} stages, "
+        f"max |err| vs numpy = {err:.2e}"
+    )
+    return 0 if err < 1e-9 else 1
+
+
+def _cmd_figures(args) -> int:
+    from .topology.isn import ISN
+    from .transform.swap_butterfly import SwapButterfly
+    from .viz.ascii import collinear_figure, isn_schedule_figure, swap_butterfly_figure
+
+    print("Figure 1 (4x4 ISN):")
+    print(isn_schedule_figure(ISN.from_ks((1, 1))))
+    print(swap_butterfly_figure(SwapButterfly.from_ks((1, 1))))
+    print("\nFigure 2 (8x8 / 16x16 swap-butterflies):")
+    for ks in [(2, 1), (2, 2)]:
+        print(swap_butterfly_figure(SwapButterfly.from_ks(ks)))
+        print()
+    print("Figure 4 (collinear K_9):")
+    print(collinear_figure(9))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""VLSI layout engines: geometry, validation, collinear layouts of complete
+graphs, and the recursive grid layout scheme for butterflies under the
+Thompson and multilayer 2-D grid models."""
+
+from .blocks import BlockDims, BlockPlan, block_dims, plan_block
+from .collinear_generic import (
+    GenericCollinearLayout,
+    cut_congestion,
+    generic_collinear_layout,
+    left_edge_tracks,
+    max_congestion,
+)
+from .ghc_layout import cycle_collinear_congestion, ghc_2d_layout, torus_2d_layout
+from .grid2d import Grid2DDims, Grid2DResult, build_grid2d_layout
+from .hypercube_layout import (
+    hypercube_2d_area_estimate,
+    hypercube_2d_dims,
+    hypercube_2d_layout,
+    hypercube_collinear_congestion,
+)
+from .ccc_layout import CccDims, ccc_2d_layout, ccc_graph
+from .multistage import MultistageDims, MultistageResult, build_multistage_layout, multistage_dims
+from .node_scaling import (
+    HeteroDims,
+    hetero_io_dims,
+    io_node_threshold,
+    paper_io_threshold,
+)
+from .multilayer3d import (
+    footprint_3d,
+    min_volume_3d,
+    optimal_layers_3d,
+    volume_3d,
+    volume_sweep,
+)
+from .collinear import (
+    CollinearLayout,
+    chen_agrawal_track_count,
+    collinear_layout,
+    naive_track_count,
+    optimal_track_count,
+    track_assignment,
+)
+from .geometry import LayerPair, Rect, Segment, THOMPSON_LAYERS, Wire
+from .grid_scheme import GridDims, GridLayoutResult, build_grid_layout, grid_dims, max_wire_bounds
+from .model import Layout, LayoutModel, multilayer_model, thompson_model
+from .tracks import TrackGrouping, base_layer_pair
+from .validate import ValidationReport, validate_layout
+
+__all__ = [
+    "Rect",
+    "Segment",
+    "Wire",
+    "LayerPair",
+    "THOMPSON_LAYERS",
+    "Layout",
+    "LayoutModel",
+    "thompson_model",
+    "multilayer_model",
+    "ValidationReport",
+    "validate_layout",
+    "CollinearLayout",
+    "collinear_layout",
+    "track_assignment",
+    "optimal_track_count",
+    "chen_agrawal_track_count",
+    "naive_track_count",
+    "TrackGrouping",
+    "base_layer_pair",
+    "BlockDims",
+    "BlockPlan",
+    "block_dims",
+    "plan_block",
+    "GridDims",
+    "GridLayoutResult",
+    "grid_dims",
+    "build_grid_layout",
+    "max_wire_bounds",
+    "cut_congestion",
+    "max_congestion",
+    "left_edge_tracks",
+    "GenericCollinearLayout",
+    "generic_collinear_layout",
+    "Grid2DDims",
+    "Grid2DResult",
+    "build_grid2d_layout",
+    "hypercube_2d_layout",
+    "hypercube_2d_dims",
+    "hypercube_2d_area_estimate",
+    "hypercube_collinear_congestion",
+    "ghc_2d_layout",
+    "torus_2d_layout",
+    "cycle_collinear_congestion",
+    "footprint_3d",
+    "volume_3d",
+    "optimal_layers_3d",
+    "min_volume_3d",
+    "volume_sweep",
+    "MultistageDims",
+    "MultistageResult",
+    "build_multistage_layout",
+    "multistage_dims",
+    "CccDims",
+    "ccc_2d_layout",
+    "ccc_graph",
+    "HeteroDims",
+    "hetero_io_dims",
+    "io_node_threshold",
+    "paper_io_threshold",
+]

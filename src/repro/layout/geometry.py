@@ -1,0 +1,303 @@
+"""Geometric primitives for grid-model layouts.
+
+Coordinates are integers on the unit grid.  The layer convention follows
+Section 4.2 of the paper: **odd-numbered layers carry vertical segments,
+even-numbered layers carry horizontal segments**; a wire changing
+direction changes layer through a *via* at the bend point.  The Thompson
+model is the two-layer case (layer 1 vertical, layer 2 horizontal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Rect", "Segment", "Wire", "LayerPair", "rectilinear_path_length"]
+
+Point = Tuple[int, int]
+
+
+def _is_vertical_layer(layer: int) -> bool:
+    return layer % 2 == 1
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[x, x+w] x [y, y+h]`` (a node footprint)."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise ValueError(f"rect must have positive size, got {self.w}x{self.h}")
+
+    @property
+    def x2(self) -> int:
+        return self.x + self.w
+
+    @property
+    def y2(self) -> int:
+        return self.y + self.h
+
+    @property
+    def area(self) -> int:
+        return self.w * self.h
+
+    def contains_point(self, p: Point, strict: bool = False) -> bool:
+        x, y = p
+        if strict:
+            return self.x < x < self.x2 and self.y < y < self.y2
+        return self.x <= x <= self.x2 and self.y <= y <= self.y2
+
+    def on_boundary(self, p: Point) -> bool:
+        return self.contains_point(p) and not self.contains_point(p, strict=True)
+
+    def intersects(self, other: "Rect", strict: bool = True) -> bool:
+        """Overlap test; ``strict`` compares open interiors (touching edges
+        do not count as intersection)."""
+        if strict:
+            return (
+                self.x < other.x2
+                and other.x < self.x2
+                and self.y < other.y2
+                and other.y < self.y2
+            )
+        return (
+            self.x <= other.x2
+            and other.x <= self.x2
+            and self.y <= other.y2
+            and other.y <= self.y2
+        )
+
+
+@dataclass(frozen=True)
+class Segment:
+    """An axis-aligned wire segment on a named layer.
+
+    Normalised so that ``(x1, y1) <= (x2, y2)`` lexicographically; degenerate
+    (zero-length) segments are rejected.
+    """
+
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+    layer: int
+
+    def __post_init__(self) -> None:
+        if self.x1 != self.x2 and self.y1 != self.y2:
+            raise ValueError("segment must be axis-aligned")
+        if (self.x1, self.y1) == (self.x2, self.y2):
+            raise ValueError("zero-length segment")
+        if (self.x1, self.y1) > (self.x2, self.y2):
+            a, b, c, d = self.x2, self.y2, self.x1, self.y1
+            object.__setattr__(self, "x1", a)
+            object.__setattr__(self, "y1", b)
+            object.__setattr__(self, "x2", c)
+            object.__setattr__(self, "y2", d)
+        if self.layer < 1:
+            raise ValueError(f"layer must be >= 1, got {self.layer}")
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.y1 == self.y2
+
+    @property
+    def is_vertical(self) -> bool:
+        return self.x1 == self.x2
+
+    @property
+    def track(self) -> int:
+        """The fixed coordinate: ``y`` for horizontal, ``x`` for vertical."""
+        return self.y1 if self.is_horizontal else self.x1
+
+    @property
+    def lo(self) -> int:
+        return self.x1 if self.is_horizontal else self.y1
+
+    @property
+    def hi(self) -> int:
+        return self.x2 if self.is_horizontal else self.y2
+
+    @property
+    def length(self) -> int:
+        return (self.x2 - self.x1) + (self.y2 - self.y1)
+
+    def covers_point(self, p: Point) -> bool:
+        x, y = p
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+
+@dataclass(frozen=True)
+class LayerPair:
+    """A (vertical-layer, horizontal-layer) pair used to wire one track
+    group.  Which layers may carry which orientation is a *model* rule
+    (the paper's even-``L`` layouts put verticals on odd layers; its
+    odd-``L`` layouts put horizontals on odd layers), so no parity is
+    enforced here — the validator checks pairs against the model.
+    """
+
+    vertical: int
+    horizontal: int
+
+    def __post_init__(self) -> None:
+        if self.vertical < 1 or self.horizontal < 1:
+            raise ValueError("layers are numbered from 1")
+        if self.vertical == self.horizontal:
+            raise ValueError("vertical and horizontal layers must differ")
+
+    @classmethod
+    def group(cls, i: int) -> "LayerPair":
+        """Group ``i`` (0-based) of an even-``L`` layout: layers
+        ``(2i + 1, 2i + 2)``."""
+        return cls(vertical=2 * i + 1, horizontal=2 * i + 2)
+
+    def layer_for(self, vertical: bool) -> int:
+        return self.vertical if vertical else self.horizontal
+
+
+THOMPSON_LAYERS = LayerPair(vertical=1, horizontal=2)
+
+
+@dataclass
+class Wire:
+    """A routed net: a rectilinear path between two node terminals.
+
+    ``net`` identifies the graph edge this wire realises (an ordered pair of
+    node ids plus a copy index for parallel links).  ``segments`` is the
+    path in order; consecutive segments share an endpoint, and a layer
+    change at a shared endpoint is a via.
+    """
+
+    net: Tuple
+    segments: List[Segment] = field(default_factory=list)
+
+    @classmethod
+    def from_path(
+        cls,
+        net: Tuple,
+        points: Sequence[Point],
+        layers: LayerPair = THOMPSON_LAYERS,
+    ) -> "Wire":
+        """Build a wire from a point path, assigning layers by direction.
+
+        Consecutive duplicate points are dropped; each leg must be
+        axis-aligned.  Collinear continuing runs on one layer are merged
+        into a single segment (so overlap/via analysis sees whole runs).
+        """
+        return cls.from_legs(net, [(points, layers)])
+
+    @classmethod
+    def from_legs(
+        cls,
+        net: Tuple,
+        legs: Sequence[Tuple[Sequence[Point], LayerPair]],
+    ) -> "Wire":
+        """Build a wire from consecutive legs, each with its own layer pair.
+
+        Used for inter-block wires: the in-block stubs run on the base
+        layers while the channel portion runs on its track group's layers.
+        Legs must share endpoints; duplicate consecutive points are merged,
+        and a straight run continuing across points (or legs) *on the same
+        layer* becomes one segment — validators rely on whole runs to
+        detect wires grazing another net's via.
+        """
+        # directed runs: (a, b, layer)
+        runs: List[Tuple[Point, Point, int]] = []
+        last: Optional[Point] = None
+        for leg_points, pair in legs:
+            for p in leg_points:
+                if last is None or p == last:
+                    last = p if last is None else last
+                    continue
+                a, b = last, p
+                if a[0] != b[0] and a[1] != b[1]:
+                    raise ValueError(f"non-rectilinear leg {a} -> {b}")
+                vertical = a[0] == b[0]
+                layer = pair.layer_for(vertical)
+                if runs:
+                    pa, pb, pl = runs[-1]
+                    same_line = (
+                        pl == layer
+                        and (
+                            (pa[0] == pb[0] == a[0] == b[0])
+                            or (pa[1] == pb[1] == a[1] == b[1])
+                        )
+                    )
+                    if same_line:
+                        # continuing straight (same direction sign): merge
+                        d_prev = (pb[0] - pa[0], pb[1] - pa[1])
+                        d_cur = (b[0] - a[0], b[1] - a[1])
+                        if (
+                            d_prev[0] * d_cur[0] > 0
+                            or d_prev[1] * d_cur[1] > 0
+                        ):
+                            runs[-1] = (pa, b, pl)
+                            last = p
+                            continue
+                runs.append((a, b, layer))
+                last = p
+        if not runs:
+            raise ValueError(f"wire {net}: empty path")
+        segs = [Segment(a[0], a[1], b[0], b[1], l) for a, b, l in runs]
+        return cls(net=net, segments=segs)
+
+    @property
+    def endpoints(self) -> Tuple[Point, Point]:
+        """First and last points of the path (terminal attachment points)."""
+        first, last = self.segments[0], self.segments[-1]
+        pts = self.path_points()
+        return pts[0], pts[-1]
+
+    def path_points(self) -> List[Point]:
+        """Ordered path points; raises if segments are not contiguous."""
+        segs = self.segments
+        if len(segs) == 1:
+            s = segs[0]
+            return [(s.x1, s.y1), (s.x2, s.y2)]
+        pts: List[Point] = []
+        for i, s in enumerate(segs):
+            ends = [(s.x1, s.y1), (s.x2, s.y2)]
+            if i == 0:
+                nxt = segs[1]
+                nxt_ends = {(nxt.x1, nxt.y1), (nxt.x2, nxt.y2)}
+                shared = [p for p in ends if p in nxt_ends]
+                if not shared:
+                    raise ValueError(f"wire {self.net}: segments 0/1 not contiguous")
+                start = ends[0] if ends[1] == shared[0] else ends[1]
+                pts.extend([start, shared[0]])
+            else:
+                prev_end = pts[-1]
+                if prev_end == ends[0]:
+                    pts.append(ends[1])
+                elif prev_end == ends[1]:
+                    pts.append(ends[0])
+                else:
+                    raise ValueError(
+                        f"wire {self.net}: segment {i} not contiguous with path"
+                    )
+        return pts
+
+    def vias(self) -> List[Point]:
+        """Bend points where consecutive segments change layer."""
+        out: List[Point] = []
+        pts = self.path_points()
+        for i in range(len(self.segments) - 1):
+            if self.segments[i].layer != self.segments[i + 1].layer:
+                out.append(pts[i + 1])
+        return out
+
+    @property
+    def length(self) -> int:
+        return sum(s.length for s in self.segments)
+
+
+def rectilinear_path_length(points: Sequence[Point]) -> int:
+    """Manhattan length of a rectilinear point path."""
+    total = 0
+    for a, b in zip(points, points[1:]):
+        total += abs(a[0] - b[0]) + abs(a[1] - b[1])
+    return total

@@ -1,0 +1,99 @@
+"""2-D layouts of generalized hypercubes and k-ary n-cubes.
+
+Two more instances of the grid recipe, both named by the paper:
+
+* a **2-D generalized hypercube** (Bhuyan–Agrawal): every pair of nodes
+  in a grid row or column adjacent — the row/column graphs are complete
+  graphs, so the channels are exactly Appendix B's optimal collinear
+  layouts with ``floor(r^2/4)`` tracks;
+* a **k-ary 2-cube (2-D torus)**: row/column graphs are cycles ``C_k``,
+  whose natural-order collinear congestion is just 2 (the wraparound
+  link shares the channel with one chord).
+
+The GHC instance closes the loop on Section 3.2: merging the butterfly
+layout's blocks into supernodes *produces* this generalized-hypercube
+layout, wired by the same collinear tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..topology.graph import Graph
+from .grid2d import Grid2DResult, build_grid2d_layout
+
+__all__ = [
+    "ghc_2d_layout",
+    "torus_2d_layout",
+    "cycle_collinear_congestion",
+]
+
+
+def _complete(r: int) -> Graph:
+    g = Graph(name=f"K_{r}")
+    g.add_nodes(range(r))
+    for u in range(r):
+        for v in range(u + 1, r):
+            g.add_edge(u, v)
+    return g
+
+
+def _cycle(k: int) -> Graph:
+    g = Graph(name=f"C_{k}")
+    g.add_nodes(range(k))
+    for u in range(k):
+        v = (u + 1) % k
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def cycle_collinear_congestion(k: int) -> int:
+    """Collinear congestion of ``C_k`` in natural order: 2 for ``k >= 3``
+    (every internal cut is crossed by one path link and the wrap link)."""
+    if k < 3:
+        return 1 if k == 2 else 0
+    return 2
+
+
+def ghc_2d_layout(
+    radix_rows: int,
+    radix_cols: int,
+    W: Optional[int] = None,
+    L: int = 2,
+    split_channels: bool = False,
+) -> Grid2DResult:
+    """Wire-level layout of the 2-D generalized hypercube
+    ``GHC(radix_rows, radix_cols)`` — complete graphs along rows and
+    columns, channels = optimal collinear layouts of ``K_r``."""
+    if radix_rows < 2 or radix_cols < 2:
+        raise ValueError("radices must be >= 2")
+    row = _complete(radix_cols)
+    col = _complete(radix_rows)
+    return build_grid2d_layout(
+        rows=radix_rows,
+        cols=radix_cols,
+        row_graph=lambda r: row,
+        col_graph=lambda c: col,
+        W=W,
+        L=L,
+        name=f"GHC({radix_rows},{radix_cols})",
+        split_channels=split_channels,
+    )
+
+
+def torus_2d_layout(k: int, W: Optional[int] = None, L: int = 2) -> Grid2DResult:
+    """Wire-level layout of the k-ary 2-cube (k x k torus)."""
+    if k < 3:
+        raise ValueError(f"torus radix must be >= 3, got {k}")
+    row = _cycle(k)
+    col = _cycle(k)
+    return build_grid2d_layout(
+        rows=k,
+        cols=k,
+        row_graph=lambda r: row,
+        col_graph=lambda c: col,
+        W=W,
+        L=L,
+        name=f"torus-{k}",
+    )

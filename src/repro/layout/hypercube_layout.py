@@ -1,0 +1,127 @@
+"""2-D grid layouts of hypercubes (the conclusion's companion claim).
+
+Split ``Q_n`` as ``n = a + b``: place node ``x`` at grid position
+``(x >> b, x & (2**b - 1))``.  Dimensions ``0..b-1`` connect nodes within
+a grid row (the induced graph is ``Q_b`` on column indices) and
+dimensions ``b..n-1`` within a grid column (``Q_a``) — so the generic
+grid recipe applies with hypercube row/column graphs.
+
+The channel demand is the collinear congestion of a hypercube in natural
+order, which has the closed form ``floor(2^{b+1}/3)`` (property-tested
+against the engine): cut ``c = 0b0101...`` is worst, crossed by ``2^d``
+dimension-``d`` links for every other ``d``.  With a balanced split this
+gives layout side ``~ (2/3) N`` and area ``(4/9) N^2 (1 + o(1))`` — the
+hypercube analogue of the butterfly result, matching the authors'
+companion paper [26] on hypercubic networks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..topology.bits import flip_bit
+from ..topology.graph import Graph
+from .grid2d import Grid2DResult, build_grid2d_layout
+
+__all__ = [
+    "hypercube_collinear_congestion",
+    "hypercube_2d_layout",
+    "hypercube_2d_dims",
+    "hypercube_2d_area_estimate",
+]
+
+
+def hypercube_collinear_congestion(b: int) -> int:
+    """Max cut congestion of ``Q_b`` in natural order: ``floor(2^{b+1}/3)``."""
+    if b < 0:
+        raise ValueError(f"dimension must be >= 0, got {b}")
+    return (1 << (b + 1)) // 3
+
+
+def _sub_hypercube(k: int) -> Graph:
+    g = Graph(name=f"Q_{k}-row")
+    g.add_nodes(range(1 << k))
+    for u in range(1 << k):
+        for d in range(k):
+            v = flip_bit(u, d)
+            if u < v:
+                g.add_edge(u, v)
+    return g
+
+
+def hypercube_2d_layout(
+    n: int,
+    split: Optional[Tuple[int, int]] = None,
+    W: Optional[int] = None,
+    L: int = 2,
+    split_channels: bool = False,
+) -> Grid2DResult:
+    """Wire-level 2-D layout of ``Q_n`` under the ``L``-layer grid model.
+
+    ``split = (a, b)`` controls the grid shape (default: balanced, with
+    the larger half horizontal).  The grid node ``(r, c)`` is hypercube
+    node ``(r << b) | c``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    a, b = split if split is not None else (n // 2, n - n // 2)
+    if a + b != n or a < 0 or b < 0 or a + b == 0:
+        raise ValueError(f"split {split} does not partition n = {n}")
+    if a == 0 or b == 0:
+        raise ValueError("degenerate split: use the collinear layout directly")
+    row = _sub_hypercube(b)
+    col = _sub_hypercube(a)
+    return build_grid2d_layout(
+        rows=1 << a,
+        cols=1 << b,
+        row_graph=lambda r: row,
+        col_graph=lambda c: col,
+        W=W if W is not None else n,  # Thompson: node side = degree
+        L=L,
+        name=f"Q{n}",
+        split_channels=split_channels,
+    )
+
+
+def hypercube_2d_dims(
+    n: int,
+    split: Optional[Tuple[int, int]] = None,
+    W: Optional[int] = None,
+    L: int = 2,
+):
+    """Exact closed-form dimensions of :func:`hypercube_2d_layout` (same
+    arithmetic as the builder, evaluable at any ``n``)."""
+    from .grid2d import Grid2DDims
+    from .tracks import TrackGrouping
+
+    a, b = split if split is not None else (n // 2, n - n // 2)
+    if a + b != n or a < 1 or b < 1:
+        raise ValueError(f"split {split} does not partition n = {n}")
+    side = W if W is not None else n
+    row_demand = hypercube_collinear_congestion(b)
+    col_demand = hypercube_collinear_congestion(a)
+    gh = TrackGrouping(L=L, horizontal=True, total_tracks=row_demand)
+    gv = TrackGrouping(L=L, horizontal=False, total_tracks=col_demand)
+    return Grid2DDims(
+        rows=1 << a,
+        cols=1 << b,
+        W=side,
+        L=L,
+        row_tracks=row_demand,
+        col_tracks=col_demand,
+        chan_h=gh.physical_tracks,
+        chan_v=gv.physical_tracks,
+        cell_w=side + 2 + gv.physical_tracks,
+        cell_h=side + 2 + gh.physical_tracks,
+    )
+
+
+def hypercube_2d_area_estimate(n: int, L: int = 2) -> float:
+    """Leading term of the balanced layout's area: ``(4/9) N^2 (2/L)^2``
+    with ``N = 2**n`` (each side ``~ (2/3) N / (L/2)`` for even splits)."""
+    if L < 2:
+        raise ValueError(f"L must be >= 2, got {L}")
+    N = 1 << n
+    g = L / 2 if L % 2 == 0 else (L + 1) / 2  # H groups; V differs for odd L
+    gv = L / 2 if L % 2 == 0 else (L - 1) / 2
+    return (2 / 3) ** 2 * N * N / (g * gv)

@@ -1,0 +1,95 @@
+"""The multilayer 3-D grid model: volume-optimal layer counts (Section 4.2).
+
+The paper closes Section 4 with: "If a very large number L of layers and
+L_A > 1 active layers are available, we can design butterfly layouts
+under the multilayer 3-D grid model ...  To minimize the volume of the
+multilayer 3-D layout, we should select ``L = Theta(sqrt(N)/log N)``."
+The construction details were deferred to future work, so this module
+implements the *model* the remark rests on and verifies the remark
+quantitatively:
+
+* with ``L`` wiring layers the footprint is wiring-limited at
+  ``4 N^2 / (L^2 log2^2 N)`` (Theorem 4.1) until it hits the
+  node-limited floor ``~ N`` (unit-area nodes spread over active
+  layers keep the footprint at least ``N / L_A``; the paper's remark
+  uses a single logical node plane, footprint ``N``);
+* volume ``V(L) = L x max(wiring footprint, node floor)`` is decreasing
+  while wiring-limited and increasing once node-limited, so the optimum
+  sits at the crossover ``L* = 2 sqrt(N) / log2 N`` — exactly the
+  paper's ``Theta(sqrt(N)/log N)`` — with minimum volume
+  ``V* = 2 N^{3/2} / log2 N``.
+
+Everything here is closed-form model arithmetic (clearly an *extension*,
+not a wire-level construction); tests check the crossover algebra and
+the benchmark sweeps ``L`` to exhibit the minimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..analysis.formulas import log2N, num_nodes
+
+__all__ = [
+    "footprint_3d",
+    "volume_3d",
+    "optimal_layers_3d",
+    "min_volume_3d",
+    "volume_sweep",
+]
+
+
+def footprint_3d(n: int, L: int) -> float:
+    """Model footprint with ``L`` wiring layers: wiring-limited term vs
+    the node floor."""
+    if L < 2:
+        raise ValueError(f"L must be >= 2, got {L}")
+    N = num_nodes(n)
+    wiring = 4 * N * N / (L * L * log2N(n) ** 2)
+    return max(wiring, float(N))
+
+
+def volume_3d(n: int, L: int) -> float:
+    """Model volume ``L x footprint``."""
+    return L * footprint_3d(n, L)
+
+
+def optimal_layers_3d(n: int) -> float:
+    """The crossover ``L* = 2 sqrt(N)/log2 N`` (paper: Theta(sqrt N/log N))."""
+    N = num_nodes(n)
+    return 2 * math.sqrt(N) / log2N(n)
+
+
+def min_volume_3d(n: int) -> float:
+    """Minimum model volume ``V* = N L* = 2 N^{3/2}/log2 N``."""
+    N = num_nodes(n)
+    return N * optimal_layers_3d(n)
+
+
+@dataclass(frozen=True)
+class VolumePoint:
+    L: int
+    footprint: float
+    volume: float
+    regime: str  # 'wiring' | 'nodes'
+
+
+def volume_sweep(n: int, factors=(1 / 16, 1 / 4, 1 / 2, 1, 2, 4, 16)) -> List[VolumePoint]:
+    """Volume at L values around the optimum (for the bench table)."""
+    N = num_nodes(n)
+    out: List[VolumePoint] = []
+    lstar = optimal_layers_3d(n)
+    for f in factors:
+        L = max(2, int(round(lstar * f)))
+        fp = footprint_3d(n, L)
+        out.append(
+            VolumePoint(
+                L=L,
+                footprint=fp,
+                volume=L * fp,
+                regime="nodes" if fp <= N * 1.0000001 else "wiring",
+            )
+        )
+    return out

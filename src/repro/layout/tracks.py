@@ -1,0 +1,84 @@
+"""Multilayer track-group arithmetic (Section 4.2).
+
+A channel that needs ``T`` parallel tracks under the Thompson model is
+split, when ``L`` layers are available, into ``g`` groups that share the
+same physical footprint on distinct layer pairs; the channel then occupies
+only ``ceil(T / g)`` physical tracks.
+
+* even ``L``: horizontal and vertical channels both get ``L/2`` groups;
+  group ``i`` wires its runs on layer ``2i+2`` (horizontal) / ``2i+1``
+  (vertical);
+* odd ``L``: horizontal tracks get ``(L+1)/2`` groups on layers
+  ``1, 3, ..., L`` and vertical tracks ``(L-1)/2`` groups on layers
+  ``2, 4, ..., L-1``.
+
+The numbers are what turn the Thompson-model area ``N^2/log^2 N`` into
+``4N^2/(L^2 log^2 N)`` (even ``L``) and ``4N^2/((L^2-1) log^2 N)`` (odd).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .geometry import LayerPair
+
+__all__ = ["TrackGrouping", "base_layer_pair"]
+
+
+def base_layer_pair(L: int) -> LayerPair:
+    """The layer pair used for block-internal (o(.)-budget) wiring."""
+    if L % 2 == 0:
+        return LayerPair(vertical=1, horizontal=2)
+    return LayerPair(vertical=2, horizontal=1)
+
+
+@dataclass(frozen=True)
+class TrackGrouping:
+    """Assignment of ``total_tracks`` logical tracks to physical offsets and
+    layer pairs in one channel direction."""
+
+    L: int
+    horizontal: bool  # True: channel carries horizontal runs
+    total_tracks: int
+
+    @property
+    def num_groups(self) -> int:
+        if self.L % 2 == 0:
+            return self.L // 2
+        return (self.L + 1) // 2 if self.horizontal else (self.L - 1) // 2
+
+    @property
+    def physical_tracks(self) -> int:
+        """Physical channel width: ``ceil(T / groups)`` (0 if no tracks)."""
+        if self.total_tracks == 0:
+            return 0
+        g = self.num_groups
+        return -(-self.total_tracks // g)
+
+    def group_of(self, track: int) -> int:
+        self._check(track)
+        return track // self.physical_tracks
+
+    def offset_of(self, track: int) -> int:
+        self._check(track)
+        return track % self.physical_tracks
+
+    def layer_pair(self, track: int) -> LayerPair:
+        """Layers carrying this track's run and its connecting segments."""
+        g = self.group_of(track)
+        if self.L % 2 == 0:
+            return LayerPair(vertical=2 * g + 1, horizontal=2 * g + 2)
+        if self.horizontal:
+            # run on odd layer 2g+1; connecting verticals on an even layer
+            run = 2 * g + 1
+            vert = 2 * g if g >= 1 else 2
+            return LayerPair(vertical=vert, horizontal=run)
+        # vertical channel: run on even layer 2g+2; connectors on 2g+1
+        return LayerPair(vertical=2 * g + 2, horizontal=2 * g + 1)
+
+    def _check(self, track: int) -> None:
+        if not 0 <= track < self.total_tracks:
+            raise ValueError(
+                f"track {track} outside [0, {self.total_tracks})"
+            )

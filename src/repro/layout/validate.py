@@ -1,0 +1,415 @@
+"""Layout validation: the layout-model rules, checked exactly.
+
+The checks implement the Thompson / multilayer 2-D grid model rules from
+Sections 3.1 and 4.1 of the paper:
+
+* axis discipline — vertical segments on odd layers, horizontal on even;
+* edge-disjointness — two wires may *cross* at a grid point but may not
+  share a unit grid edge on the same layer;
+* no shared bends — a via (bend, or terminal drop to the active layer)
+  occupies its grid point on every layer it passes through; no other net
+  may touch that point on those layers (the no-knock-knee rule,
+  generalised to ``L`` layers);
+* wires avoid node interiors;
+* node footprints are pairwise disjoint;
+* the layout *realises* its target graph: every wire is a contiguous path
+  between the footprints of its net's endpoints, and the multiset of nets
+  equals the graph's edge multiset.
+
+All checks are exact but use sorted-interval indexes so that layouts with
+hundreds of thousands of segments validate in seconds.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..topology.graph import Graph
+from .geometry import Segment, Wire
+from .model import Layout
+
+__all__ = ["ValidationReport", "validate_layout"]
+
+MAX_ERRORS_KEPT = 20
+
+
+@dataclass
+class ValidationReport:
+    ok: bool
+    errors: List[str] = field(default_factory=list)
+    checks_run: List[str] = field(default_factory=list)
+    num_errors: int = 0
+
+    def _add(self, msg: str) -> None:
+        self.num_errors += 1
+        if len(self.errors) < MAX_ERRORS_KEPT:
+            self.errors.append(msg)
+        self.ok = False
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            shown = "\n  ".join(self.errors)
+            raise AssertionError(
+                f"layout validation failed ({self.num_errors} errors):\n  {shown}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# interval index helpers
+# ---------------------------------------------------------------------------
+
+
+class _TrackIndex:
+    """Per-(layer, track) sorted interval lists for overlap / point queries."""
+
+    def __init__(self) -> None:
+        # (layer, horizontal?, track) -> sorted list of (lo, hi, wire_idx)
+        self._tracks: Dict[Tuple[int, bool, int], List[Tuple[int, int, int]]] = (
+            defaultdict(list)
+        )
+
+    def add(self, seg: Segment, wire_idx: int) -> None:
+        key = (seg.layer, seg.is_horizontal, seg.track)
+        self._tracks[key].append((seg.lo, seg.hi, wire_idx))
+
+    def finalize(self) -> None:
+        for lst in self._tracks.values():
+            lst.sort()
+
+    def overlaps(self) -> List[Tuple[Tuple[int, bool, int], Tuple, Tuple]]:
+        """Pairs of intervals sharing a unit grid edge on the same track.
+
+        Same-wire touching is permitted (a path revisiting a track), but
+        strict overlap is flagged even within one wire: it always indicates
+        a construction bug.
+        """
+        bad = []
+        for key, lst in self._tracks.items():
+            max_hi = None
+            max_item = None
+            for item in lst:
+                lo, hi, _w = item
+                if max_hi is not None and lo < max_hi:
+                    bad.append((key, max_item, item))
+                if max_hi is None or hi > max_hi:
+                    max_hi, max_item = hi, item
+        return bad
+
+    def nets_covering(
+        self, layer: int, point: Tuple[int, int]
+    ) -> List[int]:
+        """Wire indexes whose segments on ``layer`` cover ``point``
+        (including endpoints)."""
+        x, y = point
+        out: List[int] = []
+        for horizontal, track, coord in ((True, y, x), (False, x, y)):
+            lst = self._tracks.get((layer, horizontal, track))
+            if not lst:
+                continue
+            i = bisect.bisect_right(lst, (coord, float("inf"), float("inf")))
+            # scan left while intervals may cover coord
+            j = i - 1
+            while j >= 0:
+                lo, hi, w = lst[j]
+                if hi < coord:
+                    # sorted by lo; earlier intervals can still span, keep
+                    # scanning only while plausible: track lists are short
+                    j -= 1
+                    continue
+                if lo <= coord <= hi:
+                    out.append(w)
+                j -= 1
+        return out
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_layer_discipline(layout: Layout, rep: ValidationReport) -> None:
+    rep.checks_run.append("layer-discipline")
+    L = layout.model.num_layers
+    v_ok, h_ok = set(layout.model.v_layers), set(layout.model.h_layers)
+    for wi, w in enumerate(layout.wires):
+        for s in w.segments:
+            if s.layer > L:
+                rep._add(f"wire {w.net}: segment on layer {s.layer} > L={L}")
+            allowed = h_ok if s.is_horizontal else v_ok
+            if s.layer not in allowed:
+                rep._add(
+                    f"wire {w.net}: {'H' if s.is_horizontal else 'V'} segment on "
+                    f"layer {s.layer} not permitted by model {layout.model.name}"
+                )
+
+
+def _check_contiguity_and_terminals(layout: Layout, rep: ValidationReport) -> None:
+    rep.checks_run.append("contiguity-terminals")
+    for w in layout.wires:
+        try:
+            pts = w.path_points()
+        except ValueError as e:
+            rep._add(str(e))
+            continue
+        u, v = w.net[0], w.net[1]
+        for node, point, which in ((u, pts[0], "start"), (v, pts[-1], "end")):
+            r = layout.nodes.get(node)
+            if r is None:
+                rep._add(f"wire {w.net}: {which} node {node!r} not placed")
+            elif not r.on_boundary(point):
+                rep._add(
+                    f"wire {w.net}: {which} point {point} not on boundary of "
+                    f"node {node!r} at ({r.x},{r.y},{r.w},{r.h})"
+                )
+
+
+def _check_realizes_graph(layout: Layout, graph: Graph, rep: ValidationReport) -> None:
+    rep.checks_run.append("realizes-graph")
+    want = graph.edge_multiset()
+    got: Counter = Counter()
+    for w in layout.wires:
+        u, v = w.net[0], w.net[1]
+        key = (u, v) if (u, v) in want or (v, u) not in want else (v, u)
+        # canonicalise like Graph does
+        got[_canon_edge(u, v)] += 1
+    want_c = Counter({_canon_edge(u, v): c for (u, v), c in want.items()})
+    if got != want_c:
+        missing = want_c - got
+        extra = got - want_c
+        for e, c in list(missing.items())[:5]:
+            rep._add(f"graph edge {e} x{c} has no wire")
+        for e, c in list(extra.items())[:5]:
+            rep._add(f"wire {e} x{c} has no graph edge")
+    placed = set(layout.nodes)
+    missing_nodes = [n for n in graph.nodes() if n not in placed]
+    for n in missing_nodes[:5]:
+        rep._add(f"graph node {n!r} not placed")
+    if missing_nodes:
+        rep.num_errors += max(0, len(missing_nodes) - 5)
+
+
+def _canon_edge(u, v):
+    def key(n):
+        return (1, n) if isinstance(n, tuple) else (0, (n,))
+
+    return (u, v) if key(u) <= key(v) else (v, u)
+
+
+def _check_track_overlaps(idx: _TrackIndex, layout: Layout, rep: ValidationReport) -> None:
+    rep.checks_run.append("track-overlap")
+    for key, a, b in idx.overlaps():
+        layer, horiz, track = key
+        rep._add(
+            f"layer {layer} {'H' if horiz else 'V'} track {track}: intervals "
+            f"[{a[0]},{a[1]}] (wire {layout.wires[a[2]].net}) and "
+            f"[{b[0]},{b[1]}] (wire {layout.wires[b[2]].net}) overlap"
+        )
+
+
+def _columns(layout: Layout) -> List[Tuple[int, int, int, int, int]]:
+    """Via/terminal columns ``(x, y, z_lo, z_hi, wire_idx)``.
+
+    Bends span between their two segment layers.  Terminals drop to the
+    active layer (layer 1) where the node sits; in the two-layer Thompson
+    case this makes a terminal of an H-segment occupy layers 1..2 at the
+    attachment point, which is exactly the model's contact.
+    """
+    cols: List[Tuple[int, int, int, int, int]] = []
+    for wi, w in enumerate(layout.wires):
+        try:
+            pts = w.path_points()
+        except ValueError:
+            continue  # discontiguous wires are reported by the path check
+        segs = w.segments
+        first, last = segs[0], segs[-1]
+        cols.append((pts[0][0], pts[0][1], 1, first.layer, wi))
+        cols.append((pts[-1][0], pts[-1][1], 1, last.layer, wi))
+        for i in range(len(segs) - 1):
+            la, lb = segs[i].layer, segs[i + 1].layer
+            if la != lb:
+                x, y = pts[i + 1]
+                cols.append((x, y, min(la, lb), max(la, lb), wi))
+    return cols
+
+
+def _check_via_conflicts(
+    idx: _TrackIndex, layout: Layout, rep: ValidationReport
+) -> None:
+    rep.checks_run.append("via-conflicts")
+    cols = _columns(layout)
+    by_point: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = defaultdict(list)
+    for x, y, zlo, zhi, wi in cols:
+        by_point[(x, y)].append((zlo, zhi, wi))
+    # column-vs-column: overlapping z-ranges of different nets at one point
+    for (x, y), lst in by_point.items():
+        if len(lst) > 1:
+            lst.sort()
+            for i in range(len(lst)):
+                for j in range(i + 1, len(lst)):
+                    (alo, ahi, wa), (blo, bhi, wb) = lst[i], lst[j]
+                    if wa != wb and alo <= bhi and blo <= ahi:
+                        rep._add(
+                            f"via columns of wires {layout.wires[wa].net} and "
+                            f"{layout.wires[wb].net} collide at ({x},{y}) "
+                            f"layers [{alo},{ahi}]&[{blo},{bhi}]"
+                        )
+    # column-vs-segment: another net's segment covering the column point on a
+    # spanned layer.  Endpoint touches are columns themselves (handled above)
+    # so only strict-interior coverage is an undetected conflict; we query
+    # inclusive and filter own-wire and endpoint hits via the by_point map.
+    for x, y, zlo, zhi, wi in cols:
+        for layer in range(zlo, zhi + 1):
+            for other in idx.nets_covering(layer, (x, y)):
+                if other == wi:
+                    continue
+                # Endpoint touching at this exact point by `other` would mean
+                # `other` has a column here too; that pair is already flagged
+                # (or safely z-disjoint).  Check strict interior only:
+                if _covers_strict_interior(layout.wires[other], layer, (x, y)):
+                    rep._add(
+                        f"wire {layout.wires[other].net} passes through via of "
+                        f"wire {layout.wires[wi].net} at ({x},{y}) layer {layer}"
+                    )
+
+
+def _covers_strict_interior(w: Wire, layer: int, point: Tuple[int, int]) -> bool:
+    x, y = point
+    for s in w.segments:
+        if s.layer != layer or not s.covers_point(point):
+            continue
+        if s.is_horizontal and s.x1 < x < s.x2:
+            return True
+        if s.is_vertical and s.y1 < y < s.y2:
+            return True
+    return False
+
+
+def _check_nodes_disjoint(layout: Layout, rep: ValidationReport) -> None:
+    rep.checks_run.append("nodes-disjoint")
+    items = sorted(layout.nodes.items(), key=lambda kv: (kv[1].x, kv[1].y))
+    active: List[Tuple[Hashable, object]] = []
+    for node, r in items:
+        still = []
+        for onode, o in active:
+            if o.x2 <= r.x:
+                continue
+            still.append((onode, o))
+            if r.intersects(o, strict=True):
+                rep._add(f"nodes {node!r} and {onode!r} overlap")
+        active = still
+        active.append((node, r))
+
+
+class _NodeBands:
+    """Spatial index over node rects: bands of identical y-interval (for H
+    segment queries) and of identical x-interval (for V queries)."""
+
+    def __init__(self, layout: Layout) -> None:
+        ybands: Dict[Tuple[int, int], List[Tuple[int, int]]] = defaultdict(list)
+        xbands: Dict[Tuple[int, int], List[Tuple[int, int]]] = defaultdict(list)
+        for r in layout.nodes.values():
+            ybands[(r.y, r.y2)].append((r.x, r.x2))
+            xbands[(r.x, r.x2)].append((r.y, r.y2))
+        self.ybands = {k: sorted(v) for k, v in ybands.items()}
+        self.xbands = {k: sorted(v) for k, v in xbands.items()}
+
+    @staticmethod
+    def _hits(intervals: List[Tuple[int, int]], lo: int, hi: int) -> bool:
+        """Any stored open interval strictly overlapping open ``(lo, hi)``?"""
+        i = bisect.bisect_left(intervals, (hi, hi))
+        # candidates end before index i; check the few whose end exceeds lo
+        j = i - 1
+        while j >= 0:
+            a, b = intervals[j]
+            if b <= lo:
+                # intervals sorted by start; earlier ones could still be long
+                j -= 1
+                continue
+            if a < hi and b > lo:
+                return True
+            j -= 1
+        return False
+
+    def h_segment_hits_interior(self, y: int, lo: int, hi: int) -> bool:
+        for (by, by2), xs in self.ybands.items():
+            if by < y < by2 and self._hits(xs, lo, hi):
+                return True
+        return False
+
+    def v_segment_hits_interior(self, x: int, lo: int, hi: int) -> bool:
+        for (bx, bx2), ys in self.xbands.items():
+            if bx < x < bx2 and self._hits(ys, lo, hi):
+                return True
+        return False
+
+
+def _check_wires_avoid_nodes(layout: Layout, rep: ValidationReport) -> None:
+    rep.checks_run.append("wires-avoid-nodes")
+    bands = _NodeBands(layout)
+    for w in layout.wires:
+        for s in w.segments:
+            if s.is_horizontal:
+                if bands.h_segment_hits_interior(s.y1, s.x1, s.x2):
+                    rep._add(
+                        f"wire {w.net}: H segment y={s.y1} x[{s.x1},{s.x2}] "
+                        f"crosses a node interior"
+                    )
+            else:
+                if bands.v_segment_hits_interior(s.x1, s.y1, s.y2):
+                    rep._add(
+                        f"wire {w.net}: V segment x={s.x1} y[{s.y1},{s.y2}] "
+                        f"crosses a node interior"
+                    )
+
+
+def _check_terminals_distinct(layout: Layout, rep: ValidationReport) -> None:
+    rep.checks_run.append("terminals-distinct")
+    seen: Dict[Tuple[int, int], Tuple] = {}
+    for w in layout.wires:
+        try:
+            pts = w.path_points()
+        except ValueError:
+            continue
+        for p in (pts[0], pts[-1]):
+            if p in seen and seen[p] != w.net:
+                rep._add(
+                    f"terminal point {p} shared by wires {seen[p]} and {w.net}"
+                )
+            seen[p] = w.net
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def validate_layout(
+    layout: Layout,
+    graph: Optional[Graph] = None,
+    check_nodes: bool = True,
+    check_vias: bool = True,
+) -> ValidationReport:
+    """Run the full rule set; returns a report (``.raise_if_failed()`` to
+    assert)."""
+    rep = ValidationReport(ok=True)
+    _check_layer_discipline(layout, rep)
+    _check_contiguity_and_terminals(layout, rep)
+
+    idx = _TrackIndex()
+    for wi, w in enumerate(layout.wires):
+        for s in w.segments:
+            idx.add(s, wi)
+    idx.finalize()
+    _check_track_overlaps(idx, layout, rep)
+    if check_vias:
+        _check_via_conflicts(idx, layout, rep)
+        _check_terminals_distinct(layout, rep)
+    if check_nodes:
+        _check_nodes_disjoint(layout, rep)
+        _check_wires_avoid_nodes(layout, rep)
+    if graph is not None:
+        _check_realizes_graph(layout, graph, rep)
+    return rep

@@ -1,0 +1,144 @@
+"""The naive packaging baseline the paper compares against (Section 2.3).
+
+"As a basis for comparison, the average number of off-module links per
+node when placing consecutive rows of a butterfly network onto the same
+module is approximately equal to 2."
+
+Placing ``m`` consecutive rows of a *plain* butterfly per module leaves
+all cross links on high row bits crossing module boundaries: for module
+size ``m = 2**b`` there are ``n - b`` stage boundaries whose cross links
+leave (those on bits ``>= b``), two link endpoints per node pair — about
+``2 (n - b) 2**b`` pins per module, i.e. ~2 per node for ``b << n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from ..topology.bits import flip_bit
+from ..topology.butterfly import Butterfly
+
+__all__ = [
+    "NaiveRowPartition",
+    "naive_offmodule_per_module",
+    "naive_avg_per_node",
+    "max_rows_within_pin_limit",
+    "naive_module_count",
+    "paper_estimate_max_rows",
+    "paper_estimate_module_count",
+]
+
+
+@dataclass
+class NaiveRowPartition:
+    """``rows_per_module`` consecutive rows of ``B_n`` per module.
+
+    ``rows_per_module`` need not be a power of two (the Section 5.2
+    comparison uses 3 rows per chip).
+    """
+
+    bfly: Butterfly
+    rows_per_module: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.rows_per_module <= self.bfly.rows:
+            raise ValueError(
+                f"rows_per_module must be in [1, {self.bfly.rows}]"
+            )
+
+    def module_of(self, node: Tuple[int, int]) -> int:
+        return node[0] // self.rows_per_module
+
+    @property
+    def num_modules(self) -> int:
+        return -(-self.bfly.rows // self.rows_per_module)
+
+    def exact_pin_counts(self) -> Dict[int, int]:
+        """Off-module link endpoints per module, by enumeration.
+
+        Each stage boundary carries *two* cross links per row pair —
+        ``(r, s)-(r^2^s, s+1)`` and ``(r^2^s, s)-(r, s+1)`` — so every row
+        contributes one outgoing cross link per boundary.
+        """
+        pins = {m: 0 for m in range(self.num_modules)}
+        b = self.bfly
+        for s in range(b.n):
+            for r in range(b.rows):
+                v = flip_bit(r, s)
+                mu = r // self.rows_per_module
+                mv = v // self.rows_per_module
+                if mu != mv:
+                    pins[mu] += 1
+                    pins[mv] += 1
+        return pins
+
+    @property
+    def max_pins(self) -> int:
+        return max(self.exact_pin_counts().values(), default=0)
+
+    def avg_per_node(self) -> Fraction:
+        pins = self.exact_pin_counts()
+        total_nodes = self.bfly.num_nodes
+        return Fraction(sum(pins.values()), total_nodes)
+
+
+def naive_offmodule_per_module(n: int, b: int) -> int:
+    """Closed form for ``2**b`` consecutive rows of ``B_n`` per module.
+
+    Cross links on bit ``t >= b`` leave the module: per such boundary each
+    of the ``2**b`` rows sends one cross link out and receives one in.
+    """
+    if not 0 <= b <= n:
+        raise ValueError(f"b must be in [0, {n}], got {b}")
+    return 2 * (n - b) * (1 << b)
+
+
+def naive_avg_per_node(n: int, b: int) -> Fraction:
+    """~2 for ``b << n``: ``2 (n - b) / (n + 1)``."""
+    return Fraction(naive_offmodule_per_module(n, b), (n + 1) * (1 << b))
+
+
+def max_rows_within_pin_limit(n: int, pin_limit: int) -> int:
+    """Largest count of consecutive rows of ``B_n`` whose module needs at
+    most ``pin_limit`` off-module links (Section 5.2: 3 rows for the
+    64-pin chip on ``B_9``)."""
+    bfly = Butterfly(n)
+    best = 0
+    for m in range(1, bfly.rows + 1):
+        part = NaiveRowPartition(bfly, m)
+        if part.max_pins <= pin_limit:
+            best = m
+        elif best:
+            break
+    if best == 0:
+        raise ValueError(f"even one row of B_{n} exceeds {pin_limit} pins")
+    return best
+
+
+def naive_module_count(n: int, pin_limit: int) -> int:
+    """Modules needed by the naive scheme under a pin limit, using exact
+    pin counts."""
+    m = max_rows_within_pin_limit(n, pin_limit)
+    return -(-(1 << n) // m)
+
+
+def paper_estimate_max_rows(n: int, pin_limit: int) -> int:
+    """The paper's own sizing of the naive scheme: "approximately 2
+    off-module links per node", i.e. ``2 m (n+1) <= pin_limit``.
+
+    Section 5.2 applies exactly this estimate: 3 rows of ``B_9`` under a
+    64-pin chip.  (Exact counting is slightly kinder to the baseline for
+    aligned power-of-two groups, where low-bit cross links stay inside —
+    see :func:`max_rows_within_pin_limit`; we reproduce both figures.)
+    """
+    m = pin_limit // (2 * (n + 1))
+    if m < 1:
+        raise ValueError(f"pin limit {pin_limit} too small for B_{n}")
+    return m
+
+
+def paper_estimate_module_count(n: int, pin_limit: int) -> int:
+    """§5.2's 171 chips: ``ceil(2**n / paper_estimate_max_rows)``."""
+    return -(-(1 << n) // paper_estimate_max_rows(n, pin_limit))

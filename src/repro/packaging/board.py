@@ -1,0 +1,154 @@
+"""The worked board-level example of Section 5.2.
+
+A 9-dimensional butterfly built at two packaging levels — chips and one
+board.  Chips are pin-limited (64 off-chip links) squares of side 20; a
+level-2 link has unit width.  The paper derives:
+
+* 64 chips of 80 nodes each (8 consecutive swap-butterfly rows per chip);
+* chips arranged as an 8 x 8 grid, neighboring rows/columns separated by
+  the collinear layout of ``K_8`` with quadruple links = 64 tracks,
+  reduced to 60 by moving neighbor-pair links onto the inter-chip gap;
+* board area 409.6K with two wiring layers, 160K with four, 78.4K with
+  eight (sides 640 / 400 / 280);
+* the naive row packing needs ~171 chips (three rows per 64-pin chip
+  under the paper's 2-links-per-node estimate).
+
+:func:`board_design` generalises the calculation to any ``(l=3)``
+parameter vector, chip spec, and layer count, using the exact partition
+counts from :mod:`repro.packaging.pins`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..layout.collinear import optimal_track_count
+from ..layout.tracks import TrackGrouping
+from ..topology.swap import SwapNetworkParams
+from ..transform.swap_butterfly import SwapButterfly
+from .baseline import paper_estimate_module_count
+from .partition import RowPartition
+from .pins import row_partition_offmodule_per_module
+
+__all__ = ["ChipSpec", "BoardDesign", "board_design", "paper_board_example"]
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Chip-level packaging constraints (Section 5.2 uses 64 pins, side 20)."""
+
+    max_pins: int
+    side: int
+
+    def __post_init__(self) -> None:
+        if self.max_pins < 1 or self.side < 1:
+            raise ValueError("chip spec must be positive")
+
+
+@dataclass
+class BoardDesign:
+    """A complete two-level design for one parameter choice."""
+
+    ks: Tuple[int, int, int]
+    chip: ChipSpec
+    layers: int
+    # chip level
+    num_chips: int
+    nodes_per_chip: int
+    pins_per_chip: int  # exact off-chip links of a chip
+    # board level
+    grid_rows: int
+    grid_cols: int
+    channel_links: int  # inter-chip links separating neighboring rows/cols
+    channel_links_optimized: int  # after the neighbor-pair improvement
+    channel_tracks: int  # physical channel width at ``layers`` layers
+    board_side_x: int
+    board_side_y: int
+    board_area: int
+    wire_space_between_chips: int
+    # baseline
+    naive_chips_paper_estimate: int
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "num_chips": self.num_chips,
+            "nodes_per_chip": self.nodes_per_chip,
+            "pins_per_chip": self.pins_per_chip,
+            "channel_links": self.channel_links,
+            "channel_links_optimized": self.channel_links_optimized,
+            "channel_tracks": self.channel_tracks,
+            "board_side": self.board_side_x,
+            "board_area": self.board_area,
+            "naive_chips": self.naive_chips_paper_estimate,
+        }
+
+
+def board_design(
+    ks: Sequence[int],
+    chip: ChipSpec,
+    layers: int = 2,
+    optimize_neighbor_links: bool = True,
+) -> BoardDesign:
+    """Two-level design: row-partition chips on a recursive-grid board.
+
+    Chips = ``2**k1`` consecutive swap-butterfly rows; the board arranges
+    them as a ``2**k3 x 2**k2`` grid wired by replicated collinear layouts,
+    with channel tracks folded onto ``layers`` wiring layers exactly as in
+    Theorem 4.1.
+    """
+    if len(ks) != 3:
+        raise ValueError(f"board example uses l = 3, got {len(ks)}")
+    params = SwapNetworkParams(ks)
+    k1, k2, k3 = params.ks
+    sb = SwapButterfly(params)
+    part = RowPartition.natural(sb)
+    pins = row_partition_offmodule_per_module(params.ks)
+    if pins > chip.max_pins:
+        raise ValueError(
+            f"partition needs {pins} off-chip links > chip limit {chip.max_pins}"
+        )
+    gc, gr = 1 << k2, 1 << k3
+
+    # Channel link counts: collinear K_{2**k2} with 4*2**(k1-k2) parallel
+    # links between every chip pair in a grid row (and symmetrically for
+    # columns).  The paper's improvement reroutes the links joining two
+    # *adjacent* chips through the gap between them, saving 4*2**(k1-k2)
+    # (type-1 links occupy min(1, ...) = 1 base track) per channel.
+    mult_row = 4 << (k1 - k2)
+    links_row = optimal_track_count(gc) * mult_row
+    mult_col = 4 << (k1 - k3)
+    links_col = optimal_track_count(gr) * mult_col
+    opt_row = links_row - (mult_row if optimize_neighbor_links and gc > 1 else 0)
+    opt_col = links_col - (mult_col if optimize_neighbor_links and gr > 1 else 0)
+
+    gh = TrackGrouping(L=layers, horizontal=True, total_tracks=opt_row)
+    gv = TrackGrouping(L=layers, horizontal=False, total_tracks=opt_col)
+    side_y = gr * (chip.side + gh.physical_tracks)
+    side_x = gc * (chip.side + gv.physical_tracks)
+
+    return BoardDesign(
+        ks=params.ks,
+        chip=chip,
+        layers=layers,
+        num_chips=part.num_modules,
+        nodes_per_chip=part.nodes_per_module,
+        pins_per_chip=pins,
+        grid_rows=gr,
+        grid_cols=gc,
+        channel_links=links_row,
+        channel_links_optimized=opt_row,
+        channel_tracks=gh.physical_tracks,
+        board_side_x=side_x,
+        board_side_y=side_y,
+        board_area=side_x * side_y,
+        wire_space_between_chips=gh.physical_tracks,
+        naive_chips_paper_estimate=paper_estimate_module_count(
+            params.n, chip.max_pins
+        ),
+    )
+
+
+def paper_board_example(layers: int = 2) -> BoardDesign:
+    """Exactly the Section 5.2 configuration: ``B_9``, 64-pin side-20 chips."""
+    return board_design((3, 3, 3), ChipSpec(max_pins=64, side=20), layers=layers)

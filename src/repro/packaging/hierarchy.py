@@ -1,0 +1,118 @@
+"""The hierarchical layout model (Section 5.1).
+
+An ``l``-level hierarchical layout composes modules: a level-``i`` module
+consists of level-``(i-1)`` modules interconnected by level-``i`` wires;
+level-0 modules are network nodes.  Each level carries its own constraints
+(maximum pins, maximum side, wire width).  Viewing level-``(i-1)`` modules
+as supernodes, every level is a multilayer layout — so the multilayer
+model is the one-level special case.
+
+This module provides the constraint records and a two-level composer for
+butterflies built from the paper's partitions; Section 5.2's concrete
+instance lives in :mod:`repro.packaging.board`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..topology.swap import SwapNetworkParams
+from ..transform.swap_butterfly import SwapButterfly
+from .board import BoardDesign, ChipSpec, board_design
+from .pins import row_partition_offmodule_per_module
+
+__all__ = ["LevelSpec", "HierarchicalDesign", "design_two_level"]
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Packaging constraints of one hierarchy level.
+
+    ``None`` means unconstrained.  ``wire_width`` scales the channel
+    tracks of that level's layout (the paper notes minimum wire widths
+    differ between chip, board and cabinet levels).
+    """
+
+    name: str
+    max_pins: Optional[int] = None
+    max_side: Optional[int] = None
+    wire_width: int = 1
+    wiring_layers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.wire_width < 1 or self.wiring_layers < 2:
+            raise ValueError("wire width >= 1 and layers >= 2 required")
+
+
+@dataclass
+class HierarchicalDesign:
+    """A validated multi-level design with per-level statistics."""
+
+    n: int
+    ks: Tuple[int, int, int]
+    levels: Tuple[LevelSpec, ...]
+    board: BoardDesign
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> Dict[str, object]:
+        s: Dict[str, object] = dict(self.board.summary())
+        s["feasible"] = self.feasible
+        s["violations"] = list(self.violations)
+        return s
+
+
+def design_two_level(
+    ks: Sequence[int],
+    chip_level: LevelSpec,
+    board_level: LevelSpec,
+) -> HierarchicalDesign:
+    """Compose a chip+board design and check it against both level specs.
+
+    Chip side must be given (``chip_level.max_side``); the board's channel
+    tracks are scaled by ``board_level.wire_width`` and folded onto
+    ``board_level.wiring_layers`` layers.
+    """
+    if chip_level.max_side is None:
+        raise ValueError("chip level needs max_side (chips are placed as squares)")
+    params = SwapNetworkParams(ks)
+    pins = row_partition_offmodule_per_module(params.ks)
+    violations: List[str] = []
+    if chip_level.max_pins is not None and pins > chip_level.max_pins:
+        violations.append(
+            f"chip pins {pins} exceed limit {chip_level.max_pins}"
+        )
+    chip = ChipSpec(
+        max_pins=chip_level.max_pins if chip_level.max_pins is not None else pins,
+        side=chip_level.max_side,
+    )
+    try:
+        bd = board_design(params.ks, chip, layers=board_level.wiring_layers)
+    except ValueError as e:
+        # infeasible partition: report with a degenerate board
+        raise ValueError(f"two-level design infeasible: {e}") from e
+    if board_level.wire_width != 1:
+        w = board_level.wire_width
+        side_x = bd.grid_cols * (chip.side + bd.wire_space_between_chips * w)
+        side_y = bd.grid_rows * (chip.side + bd.channel_tracks * w)
+        bd.board_side_x, bd.board_side_y = side_x, side_y
+        bd.board_area = side_x * side_y
+    if board_level.max_side is not None and (
+        bd.board_side_x > board_level.max_side
+        or bd.board_side_y > board_level.max_side
+    ):
+        violations.append(
+            f"board side {max(bd.board_side_x, bd.board_side_y)} exceeds "
+            f"limit {board_level.max_side}"
+        )
+    return HierarchicalDesign(
+        n=params.n,
+        ks=params.ks,
+        levels=(chip_level, board_level),
+        board=bd,
+        violations=violations,
+    )

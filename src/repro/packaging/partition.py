@@ -1,0 +1,143 @@
+"""Partitions of swap-butterflies onto modules (Section 2.3).
+
+Two schemes from the paper:
+
+* :class:`RowPartition` — ``2**k1`` consecutive swap-butterfly rows per
+  module (all stages).  Straight and cross links are confined; only swap
+  links leave.  This is the scheme of the board example (Section 5.2):
+  for ``n = 9, k = (3,3,3)`` a module holds 80 nodes and has 56 off-module
+  links.
+
+* :class:`NucleusPartition` — one nucleus butterfly per module (the
+  finer variant of Theorem 2.1): stage columns are cut at the composite
+  boundaries into segments of sizes ``(k1 + 1, k2, ..., kl)`` and the rows
+  of segment ``i`` are grouped ``2**k_i`` at a time.  Interior modules
+  have ``k_i * 2**k_i`` nodes and exactly ``2**(k_i+2)`` off-module links.
+
+Both classes expose ``module_of(node)`` plus exact enumeration helpers;
+:mod:`repro.packaging.pins` counts off-module links for any partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from ..topology.swap import SwapNetworkParams
+from ..transform.swap_butterfly import SwapButterfly
+
+__all__ = ["Partition", "RowPartition", "NucleusPartition"]
+
+Node = Tuple[int, int]
+
+
+class Partition:
+    """Interface: a map from swap-butterfly nodes to module ids."""
+
+    sb: SwapButterfly
+
+    def module_of(self, node: Node) -> Hashable:
+        raise NotImplementedError
+
+    def modules(self) -> List[Hashable]:
+        seen = {}
+        for s in range(self.sb.stages):
+            for u in range(self.sb.rows):
+                seen.setdefault(self.module_of((u, s)), None)
+        return list(seen)
+
+    def module_sizes(self) -> Dict[Hashable, int]:
+        sizes: Dict[Hashable, int] = {}
+        for s in range(self.sb.stages):
+            for u in range(self.sb.rows):
+                m = self.module_of((u, s))
+                sizes[m] = sizes.get(m, 0) + 1
+        return sizes
+
+    @property
+    def num_modules(self) -> int:
+        return len(self.module_sizes())
+
+
+@dataclass
+class RowPartition(Partition):
+    """``2**row_bits`` consecutive rows (all stages) per module."""
+
+    sb: SwapButterfly
+    row_bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.row_bits <= self.sb.n:
+            raise ValueError(
+                f"row_bits must be in [0, {self.sb.n}], got {self.row_bits}"
+            )
+
+    @classmethod
+    def natural(cls, sb: SwapButterfly) -> "RowPartition":
+        """The paper's choice: ``row_bits = k1`` so each module holds one
+        cluster of every nucleus."""
+        return cls(sb, sb.params.ks[0])
+
+    def module_of(self, node: Node) -> int:
+        return node[0] >> self.row_bits
+
+    @property
+    def rows_per_module(self) -> int:
+        return 1 << self.row_bits
+
+    @property
+    def nodes_per_module(self) -> int:
+        return self.rows_per_module * self.sb.stages
+
+    @property
+    def num_modules(self) -> int:
+        return 1 << (self.sb.n - self.row_bits)
+
+
+@dataclass
+class NucleusPartition(Partition):
+    """One nucleus butterfly per module (Theorem 2.1).
+
+    Stage segments: segment 1 covers stages ``[0, k1]`` (the input stage
+    rides along, so the first segment has ``k1 + 1`` columns); segment
+    ``i >= 2`` covers ``[n_{i-1} + 1, n_i]``.  Rows of segment ``i`` are
+    grouped ``2**k_i`` at a time.  Module id: ``(segment, row_group)``.
+    """
+
+    sb: SwapButterfly
+
+    def segment_of_stage(self, s: int) -> int:
+        """1-based segment of stage-column ``s``."""
+        offs = self.sb.params.offsets
+        for i in range(1, self.sb.params.l + 1):
+            if s <= offs[i]:
+                return i
+        raise ValueError(f"stage {s} out of range")
+
+    def module_of(self, node: Node) -> Tuple[int, int]:
+        u, s = node
+        seg = self.segment_of_stage(s)
+        ki = self.sb.params.ks[seg - 1]
+        return (seg, u >> ki)
+
+    def segment_stage_range(self, seg: int) -> Tuple[int, int]:
+        """Inclusive stage-column range of segment ``seg``."""
+        offs = self.sb.params.offsets
+        if seg == 1:
+            return (0, offs[1])
+        return (offs[seg - 1] + 1, offs[seg])
+
+    def nodes_per_module(self, seg: int) -> int:
+        lo, hi = self.segment_stage_range(seg)
+        return (hi - lo + 1) * (1 << self.sb.params.ks[seg - 1])
+
+    @property
+    def max_nodes_per_module(self) -> int:
+        return max(
+            self.nodes_per_module(i) for i in range(1, self.sb.params.l + 1)
+        )
+
+    @property
+    def num_modules(self) -> int:
+        n = self.sb.n
+        return sum(1 << (n - k) for k in self.sb.params.ks)

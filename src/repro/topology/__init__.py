@@ -1,0 +1,77 @@
+"""Network topologies: butterflies, hypercubes, complete graphs, swap
+networks and indirect swap networks (ISNs)."""
+
+from .bits import (
+    bit,
+    bit_reverse,
+    flip_bit,
+    get_bits,
+    group_offsets,
+    ilog2,
+    is_power_of_two,
+    level_swap,
+    popcount,
+    set_bits,
+    swap_bit_groups,
+)
+from .benes import Benes, benes_boundary_bits, benes_graph
+from .bitonic import BitonicNetwork, bitonic_num_stages, bitonic_schedule, bitonic_sort
+from .omega import Omega, destination_tag_route, omega_graph, perfect_shuffle
+from .butterfly import Butterfly, butterfly_graph, wrapped_butterfly_graph
+from .complete import complete_graph, complete_multigraph, num_links
+from .graph import Graph
+from .hypercube import generalized_hypercube_graph, hypercube_graph
+from .isn import ISN, ExchangeStep, SwapStep, isn_graph
+from .properties import (
+    bfs_distances,
+    butterfly_average_distance,
+    complete_graph_bisection_width,
+    diameter,
+)
+from .swap import SwapNetwork, SwapNetworkParams, hsn_graph, swap_network_graph
+
+__all__ = [
+    "Graph",
+    "Benes",
+    "benes_graph",
+    "benes_boundary_bits",
+    "BitonicNetwork",
+    "bitonic_schedule",
+    "bitonic_num_stages",
+    "bitonic_sort",
+    "Omega",
+    "omega_graph",
+    "perfect_shuffle",
+    "destination_tag_route",
+    "Butterfly",
+    "butterfly_graph",
+    "wrapped_butterfly_graph",
+    "hypercube_graph",
+    "generalized_hypercube_graph",
+    "complete_graph",
+    "complete_multigraph",
+    "num_links",
+    "SwapNetwork",
+    "SwapNetworkParams",
+    "swap_network_graph",
+    "hsn_graph",
+    "ISN",
+    "ExchangeStep",
+    "SwapStep",
+    "isn_graph",
+    "bit",
+    "flip_bit",
+    "get_bits",
+    "set_bits",
+    "swap_bit_groups",
+    "group_offsets",
+    "level_swap",
+    "is_power_of_two",
+    "ilog2",
+    "popcount",
+    "bit_reverse",
+    "complete_graph_bisection_width",
+    "butterfly_average_distance",
+    "bfs_distances",
+    "diameter",
+]

@@ -1,0 +1,104 @@
+"""Benes networks — the rearrangeable switching fabric the paper's
+introduction motivates ("many network switches/routers are based on
+butterfly, Benes, or related interconnection topologies").
+
+Two views are provided:
+
+* the **row-level** Benes graph (matching the paper's per-row butterfly
+  convention): ``2n`` node stages of ``R = 2**n`` rows, whose stage
+  boundaries exchange bits ``0, 1, ..., n-1, n-2, ..., 0`` — an ascending
+  butterfly followed by its mirror, sharing the middle stage; and
+* the **switch-level** recursive structure used by the looping routing
+  algorithm in :mod:`repro.algorithms.benes_routing`.
+
+The row-level graph plugs directly into the packaging machinery: with
+``2**k`` consecutive rows per module, exactly the boundaries on bits
+``>= k`` leave the module — ``2(n - k)`` of the ``2n - 1`` boundaries —
+so Benes fabrics inherit butterfly-style packaging economics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .bits import flip_bit
+from .graph import Graph
+
+__all__ = ["Benes", "benes_graph", "benes_boundary_bits"]
+
+BenesNode = Tuple[int, int]
+
+
+def benes_boundary_bits(n: int) -> List[int]:
+    """Exchange-bit schedule: ``0..n-1`` ascending, then ``n-2..0``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return list(range(n)) + list(range(n - 2, -1, -1))
+
+
+@dataclass(frozen=True)
+class Benes:
+    """Row-level Benes network on ``R = 2**n`` rows."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+
+    @property
+    def rows(self) -> int:
+        return 1 << self.n
+
+    @property
+    def boundaries(self) -> List[int]:
+        return benes_boundary_bits(self.n)
+
+    @property
+    def stages(self) -> int:
+        return len(self.boundaries) + 1  # 2n
+
+    @property
+    def num_nodes(self) -> int:
+        return self.stages * self.rows
+
+    @property
+    def num_edges(self) -> int:
+        return 2 * self.rows * len(self.boundaries)
+
+    def boundary_links(self, s: int) -> Iterator[Tuple[BenesNode, BenesNode, str]]:
+        bits = self.boundaries
+        if not 0 <= s < len(bits):
+            raise ValueError(f"boundary must be in [0, {len(bits)}), got {s}")
+        t = bits[s]
+        for u in range(self.rows):
+            yield ((u, s), (u, s + 1), "straight")
+            yield ((u, s), (flip_bit(u, t), s + 1), "cross")
+
+    def links(self) -> Iterator[Tuple[BenesNode, BenesNode, str]]:
+        for s in range(len(self.boundaries)):
+            yield from self.boundary_links(s)
+
+    def graph(self) -> Graph:
+        g = Graph(name=f"Benes_{self.n}")
+        for s in range(self.stages):
+            for u in range(self.rows):
+                g.add_node((u, s))
+        for u, v, _k in self.links():
+            g.add_edge(u, v)
+        return g
+
+    def offmodule_links_per_module(self, k: int) -> int:
+        """Row partition (``2**k`` consecutive rows/module): each boundary
+        on a bit ``>= k`` contributes one outgoing and one incoming cross
+        link per row."""
+        if not 0 <= k <= self.n:
+            raise ValueError(f"k must be in [0, {self.n}], got {k}")
+        leaving = sum(1 for t in self.boundaries if t >= k)
+        return 2 * leaving * (1 << k)
+
+
+def benes_graph(n: int) -> Graph:
+    """Convenience: the row-level Benes graph."""
+    return Benes(n).graph()

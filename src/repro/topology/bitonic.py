@@ -1,0 +1,123 @@
+"""Batcher bitonic sorting networks.
+
+The paper's introduction cites "renewed interest in VLSI layouts of
+switching and sorting networks" and references Even et al.'s layout of
+the Batcher bitonic sorter [11].  The bitonic sorter on ``R = 2**r``
+wires is a multistage network of ``r(r+1)/2`` compare-exchange stages;
+like a butterfly, each stage boundary pairs wires differing in a single
+address bit, so the whole machinery here (stage-column layouts, row
+packaging) applies directly.
+
+:func:`bitonic_schedule` gives the per-boundary exchange bits (and the
+merge phase each belongs to); :func:`bitonic_sort` executes the network
+on data (vectorised), which the tests verify against ``sorted`` and the
+0-1 principle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .bits import ilog2
+from .graph import Graph
+
+__all__ = ["bitonic_schedule", "bitonic_num_stages", "bitonic_sort", "BitonicNetwork"]
+
+
+def bitonic_num_stages(r: int) -> int:
+    """Compare-exchange stage count: ``r (r + 1) / 2``."""
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    return r * (r + 1) // 2
+
+
+def bitonic_schedule(r: int) -> List[Tuple[int, int]]:
+    """The network's boundary schedule: ``(phase_bit, exchange_bit)``.
+
+    Phase ``k`` (``k = 1..r``) merges bitonic runs of length ``2**k``; its
+    steps compare wires differing in bit ``j`` for ``j = k-1 .. 0``.  The
+    comparison direction on a pair is ascending iff bit ``k`` of the wire
+    index is 0 (i.e. the pair sits in an ascending run).
+    """
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    return [(k, j) for k in range(1, r + 1) for j in range(k - 1, -1, -1)]
+
+
+def bitonic_sort(values: Sequence[float]) -> np.ndarray:
+    """Sort by executing the bitonic network (each step vectorised)."""
+    arr = np.asarray(values).copy()
+    R = len(arr)
+    if R < 2 or R & (R - 1):
+        raise ValueError(f"length must be a power of two >= 2, got {R}")
+    r = ilog2(R)
+    idx = np.arange(R)
+    for k, j in bitonic_schedule(r):
+        bit = 1 << j
+        lo = idx[(idx & bit) == 0]
+        hi = lo | bit
+        ascending = (lo & (1 << k)) == 0
+        a, b = arr[lo], arr[hi]
+        small, big = np.minimum(a, b), np.maximum(a, b)
+        arr[lo] = np.where(ascending, small, big)
+        arr[hi] = np.where(ascending, big, small)
+    return arr
+
+
+@dataclass(frozen=True)
+class BitonicNetwork:
+    """The sorter as a multistage network (flow-graph view)."""
+
+    r: int
+
+    def __post_init__(self) -> None:
+        if self.r < 1:
+            raise ValueError(f"r must be >= 1, got {self.r}")
+
+    @property
+    def rows(self) -> int:
+        return 1 << self.r
+
+    @property
+    def boundaries(self) -> List[int]:
+        """Exchange bit per stage boundary."""
+        return [j for _k, j in bitonic_schedule(self.r)]
+
+    @property
+    def stages(self) -> int:
+        return bitonic_num_stages(self.r) + 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.stages * self.rows
+
+    @property
+    def num_edges(self) -> int:
+        return 2 * self.rows * (self.stages - 1)
+
+    def links(self) -> Iterator[Tuple[Tuple[int, int], Tuple[int, int], str]]:
+        for s, t in enumerate(self.boundaries):
+            bit = 1 << t
+            for u in range(self.rows):
+                yield ((u, s), (u, s + 1), "straight")
+                yield ((u, s), (u ^ bit, s + 1), "cross")
+
+    def graph(self) -> Graph:
+        g = Graph(name=f"bitonic_{self.r}")
+        for s in range(self.stages):
+            for u in range(self.rows):
+                g.add_node((u, s))
+        for u, v, _k in self.links():
+            g.add_edge(u, v)
+        return g
+
+    def offmodule_links_per_module(self, k: int) -> int:
+        """Row partition (``2**k`` rows/module): boundaries on bits
+        ``>= k`` leave — ``(r - k)(r - k + 1)/2 + k (r - k)`` of them."""
+        if not 0 <= k <= self.r:
+            raise ValueError(f"k must be in [0, {self.r}], got {k}")
+        leaving = sum(1 for t in self.boundaries if t >= k)
+        return 2 * leaving * (1 << k)

@@ -1,0 +1,164 @@
+"""Bit-string address algebra used throughout the paper.
+
+Swap networks, indirect swap networks (ISNs), and the ISN-to-butterfly
+transformation are all defined in terms of operations on binary node
+addresses: extracting groups of bits, swapping the *i*-th group with the
+rightmost ``k_i`` bits (the paper's level-*i* swap), and flipping single
+bits (butterfly/hypercube exchanges).  This module collects those
+primitives in one place so the rest of the code can speak the paper's
+notation directly.
+
+All functions operate on non-negative Python integers interpreted as
+fixed-width bit strings; the width is implicit (callers keep track of the
+total address length ``n``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "bit",
+    "flip_bit",
+    "get_bits",
+    "set_bits",
+    "swap_bit_groups",
+    "group_offsets",
+    "level_swap",
+    "is_power_of_two",
+    "ilog2",
+    "popcount",
+    "bit_reverse",
+    "to_bit_string",
+    "from_bit_string",
+]
+
+
+def bit(x: int, i: int) -> int:
+    """Return bit ``i`` (0 = least significant) of ``x``."""
+    if i < 0:
+        raise ValueError(f"bit index must be non-negative, got {i}")
+    return (x >> i) & 1
+
+
+def flip_bit(x: int, i: int) -> int:
+    """Return ``x`` with bit ``i`` complemented (a dimension-``i`` exchange)."""
+    if i < 0:
+        raise ValueError(f"bit index must be non-negative, got {i}")
+    return x ^ (1 << i)
+
+
+def get_bits(x: int, lo: int, width: int) -> int:
+    """Extract ``width`` bits of ``x`` starting at position ``lo``.
+
+    ``get_bits(x, lo, w)`` is the integer value of the bit slice
+    ``x[lo + w - 1 : lo]`` in the paper's ``Z_{i:j}`` notation.
+    """
+    if lo < 0 or width < 0:
+        raise ValueError(f"lo and width must be non-negative, got lo={lo} width={width}")
+    return (x >> lo) & ((1 << width) - 1)
+
+
+def set_bits(x: int, lo: int, width: int, value: int) -> int:
+    """Return ``x`` with the ``width``-bit field at position ``lo`` replaced by ``value``."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    mask = ((1 << width) - 1) << lo
+    return (x & ~mask) | (value << lo)
+
+
+def swap_bit_groups(x: int, lo1: int, lo2: int, width: int) -> int:
+    """Swap the ``width``-bit fields of ``x`` at positions ``lo1`` and ``lo2``.
+
+    The two fields must be disjoint (or identical, in which case the result
+    is ``x``).  This is the primitive behind the paper's level-*i* swap.
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if lo1 == lo2 or width == 0:
+        return x
+    a, b = (lo1, lo2) if lo1 < lo2 else (lo2, lo1)
+    if a + width > b:
+        raise ValueError(
+            f"bit groups [{a},{a + width}) and [{b},{b + width}) overlap"
+        )
+    f1 = get_bits(x, lo1, width)
+    f2 = get_bits(x, lo2, width)
+    x = set_bits(x, lo1, width, f2)
+    return set_bits(x, lo2, width, f1)
+
+
+def group_offsets(ks: Sequence[int]) -> List[int]:
+    """Partial sums ``n_0 = 0, n_1 = k_1, ..., n_l = sum(k_i)``.
+
+    Group ``i`` (1-based, as in the paper) occupies bits
+    ``[n_{i-1}, n_i)`` of an address.
+    """
+    offs = [0]
+    for k in ks:
+        if k < 1:
+            raise ValueError(f"all k_i must be >= 1, got {list(ks)}")
+        offs.append(offs[-1] + k)
+    return offs
+
+
+def level_swap(x: int, ks: Sequence[int], level: int) -> int:
+    """The paper's level-``i`` swap ``sigma_i`` for an address in ``SN(l, Q_{k1})``.
+
+    Swaps the ``level``-th bit group (bits ``[n_{level-1}, n_level)``) with
+    the rightmost ``k_level`` bits.  ``level`` is 1-based; ``level == 1`` is
+    the identity (nucleus dimensions are exchanged bit-wise, not swapped).
+    """
+    if not 1 <= level <= len(ks):
+        raise ValueError(f"level must be in [1, {len(ks)}], got {level}")
+    if level == 1:
+        return x
+    offs = group_offsets(ks)
+    return swap_bit_groups(x, offs[level - 1], 0, ks[level - 1])
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2; raises if ``x`` is not a power of two."""
+    if not is_power_of_two(x):
+        raise ValueError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def popcount(x: int) -> int:
+    """Number of set bits of ``x``."""
+    if x < 0:
+        raise ValueError("popcount of negative value")
+    return x.bit_count()
+
+
+def bit_reverse(x: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``x`` (used by the FFT flow-graph check)."""
+    r = 0
+    for _ in range(width):
+        r = (r << 1) | (x & 1)
+        x >>= 1
+    return r
+
+
+def to_bit_string(x: int, width: int) -> str:
+    """Render ``x`` as a ``width``-character binary string, MSB first."""
+    if x < 0 or x >= (1 << width):
+        raise ValueError(f"{x} does not fit in {width} bits")
+    return format(x, f"0{width}b")
+
+
+def from_bit_string(s: str) -> int:
+    """Parse a binary string (MSB first) into an integer."""
+    if not s or any(c not in "01" for c in s):
+        raise ValueError(f"not a binary string: {s!r}")
+    return int(s, 2)
+
+
+def all_addresses(width: int) -> Iterable[int]:
+    """Iterate all ``2**width`` addresses of the given width."""
+    return range(1 << width)

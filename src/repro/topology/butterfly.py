@@ -1,0 +1,151 @@
+"""Butterfly networks (the paper's target topology).
+
+An ``n``-dimensional (unwrapped) butterfly ``B_n`` has ``(n + 1)`` stages of
+``R = 2**n`` rows each, for ``N = (n + 1) * 2**n`` nodes.  A node is the
+pair ``(row, stage)`` with ``row in [0, 2**n)`` and ``stage in [0, n]``.
+Between stages ``s`` and ``s + 1`` every node ``(r, s)`` has
+
+* a **straight** link to ``(r, s + 1)``, and
+* a **cross** link to ``(r XOR 2**s, s + 1)``
+
+so that two rows whose addresses differ only in bit ``s`` exchange at stage
+boundary ``s`` — the flow graph of the ascend algorithm the paper uses to
+relate ISNs and butterflies.  An ``R x R`` butterfly in the paper's usage is
+``B_n`` with ``n = log2 R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .bits import flip_bit, ilog2
+from .graph import Graph
+
+__all__ = ["Butterfly", "butterfly_graph", "wrapped_butterfly_graph"]
+
+BflyNode = Tuple[int, int]  # (row, stage)
+
+
+@dataclass(frozen=True)
+class Butterfly:
+    """Structural description of ``B_n`` with cheap generators.
+
+    The full :class:`~repro.topology.graph.Graph` is built lazily by
+    :meth:`graph`; most algorithms (layout, partitioning, routing) only
+    need the generators, which avoid materialising millions of edges.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"butterfly dimension must be >= 1, got {self.n}")
+
+    # -- sizes ----------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Number of rows ``R = 2**n`` (the paper's ``R x R`` convention)."""
+        return 1 << self.n
+
+    @property
+    def stages(self) -> int:
+        """Number of node stages, ``n + 1``."""
+        return self.n + 1
+
+    @property
+    def num_nodes(self) -> int:
+        """``N = (n + 1) * 2**n``."""
+        return self.stages * self.rows
+
+    @property
+    def num_edges(self) -> int:
+        """``n`` stage boundaries times ``2**n`` straight plus ``2**n`` cross."""
+        return self.n * self.rows * 2
+
+    @classmethod
+    def from_rows(cls, R: int) -> "Butterfly":
+        """Construct the ``R x R`` butterfly, ``R`` a power of two."""
+        return cls(ilog2(R))
+
+    # -- node/edge generators -------------------------------------------
+    def nodes(self) -> Iterator[BflyNode]:
+        for s in range(self.stages):
+            for r in range(self.rows):
+                yield (r, s)
+
+    def straight_neighbor(self, r: int, s: int) -> BflyNode:
+        self._check(r, s, boundary=True)
+        return (r, s + 1)
+
+    def cross_neighbor(self, r: int, s: int) -> BflyNode:
+        """Neighbor across stage boundary ``s`` differing in row bit ``s``."""
+        self._check(r, s, boundary=True)
+        return (flip_bit(r, s), s + 1)
+
+    def edges(self) -> Iterator[Tuple[BflyNode, BflyNode]]:
+        for s in range(self.n):
+            for r in range(self.rows):
+                yield ((r, s), (r, s + 1))
+                yield ((r, s), (flip_bit(r, s), s + 1))
+
+    def boundary_edges(self, s: int) -> Iterator[Tuple[BflyNode, BflyNode]]:
+        """All edges between stages ``s`` and ``s + 1``."""
+        if not 0 <= s < self.n:
+            raise ValueError(f"stage boundary must be in [0, {self.n}), got {s}")
+        for r in range(self.rows):
+            yield ((r, s), (r, s + 1))
+            yield ((r, s), (flip_bit(r, s), s + 1))
+
+    def degree(self, r: int, s: int) -> int:
+        self._check(r, s)
+        return 2 if s in (0, self.n) else 4
+
+    def row_edge_count(self) -> int:
+        """Edges incident to one row: ``2n`` straight+cross leaving it plus
+        ``n`` cross arriving (cross links are counted once per row pair
+        elsewhere; this helper counts edge endpoints on one row's nodes)."""
+        return 4 * self.n  # 2 per interior boundary endpoint, summed
+
+    def _check(self, r: int, s: int, boundary: bool = False) -> None:
+        hi = self.n if boundary else self.stages
+        if not 0 <= r < self.rows:
+            raise ValueError(f"row {r} out of range [0, {self.rows})")
+        if not 0 <= s < hi:
+            raise ValueError(f"stage {s} out of range [0, {hi})")
+
+    # -- materialisation -------------------------------------------------
+    def graph(self) -> Graph:
+        g = Graph(name=f"B_{self.n}")
+        g.add_nodes(self.nodes())
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        return g
+
+
+def butterfly_graph(n: int) -> Graph:
+    """Convenience: the :class:`Graph` of ``B_n``."""
+    return Butterfly(n).graph()
+
+
+def wrapped_butterfly_graph(n: int) -> Graph:
+    """Wrapped butterfly: stages 0 and ``n`` merged (each row becomes a
+    cycle).  Not used by the paper's layouts but standard enough that a
+    butterfly library should provide it."""
+    b = Butterfly(n)
+    g = Graph(name=f"wrapped-B_{n}")
+
+    def wrap(node: BflyNode) -> BflyNode:
+        r, s = node
+        return (r, s % n)
+
+    for s in range(n):
+        for r in range(b.rows):
+            g.add_node((r, s))
+    for u, v in b.edges():
+        wu, wv = wrap(u), wrap(v)
+        if wu == wv:
+            # n == 1 degenerates: straight link wraps onto itself; skip.
+            continue
+        g.add_edge(wu, wv)
+    return g

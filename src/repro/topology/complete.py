@@ -1,0 +1,37 @@
+"""Complete graphs and complete multigraphs.
+
+The collinear layout of ``K_N`` (Appendix B) is the wiring primitive of
+every butterfly layout in the paper; the inter-block structure of the
+recursive grid layout is a complete *multigraph* (``K_N`` with every edge
+replicated, e.g. quadruple links in the board example of Section 5.2).
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+
+__all__ = ["complete_graph", "complete_multigraph", "num_links"]
+
+
+def complete_graph(n: int) -> Graph:
+    """``K_n`` on nodes ``0 .. n-1``."""
+    return complete_multigraph(n, 1)
+
+
+def complete_multigraph(n: int, multiplicity: int) -> Graph:
+    """``K_n`` with every edge carrying ``multiplicity`` parallel links."""
+    if n < 1:
+        raise ValueError(f"K_n needs n >= 1, got {n}")
+    if multiplicity < 1:
+        raise ValueError(f"multiplicity must be >= 1, got {multiplicity}")
+    g = Graph(name=f"K_{n}" + (f"x{multiplicity}" if multiplicity > 1 else ""))
+    g.add_nodes(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v, multiplicity)
+    return g
+
+
+def num_links(n: int, multiplicity: int = 1) -> int:
+    """Number of links of ``K_n`` with replication: ``m * n(n-1)/2``."""
+    return multiplicity * n * (n - 1) // 2

@@ -1,0 +1,243 @@
+"""A small, deterministic, multiplicity-aware undirected graph.
+
+The paper reasons about three graph-like objects:
+
+* simple graphs (butterflies, hypercubes),
+* multigraphs obtained by merging rows/clusters into supernodes ("complete
+  multigraphs" with quadruple links, Section 3.2), and
+* explicit isomorphisms ("automorphisms of butterfly networks").
+
+``Graph`` supports all three: parallel edges are tracked by multiplicity,
+iteration order is deterministic (insertion order for nodes, sorted
+within adjacency when asked), and there are first-class operations for
+quotienting by a node mapping and checking that an explicit node bijection
+is an isomorphism.  We deliberately avoid networkx here: the graphs are
+the core data structure of the reproduction and we want exact,
+multiplicity-preserving semantics plus cheap hashing of edge multisets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Mapping, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+__all__ = ["Graph"]
+
+
+def _canon(u: Node, v: Node) -> Edge:
+    """Canonical (sorted) form of an undirected edge key."""
+    # Nodes in this project are ints or tuples of ints; both sort fine.
+    return (u, v) if _key(u) <= _key(v) else (v, u)
+
+
+def _key(n: Node):
+    # Allow mixing of ints and tuples in exceptional cases by sorting on
+    # (type-rank, value).
+    if isinstance(n, tuple):
+        return (1, n)
+    return (0, (n,))
+
+
+class Graph:
+    """Undirected multigraph with integer edge multiplicities.
+
+    Self-loops are rejected: none of the paper's networks contain them
+    (a level-``i`` swap link whose endpoints coincide is simply absent in
+    the *direct* network; in the *indirect* network the corresponding link
+    joins distinct stages, so it is never a loop).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._adj: Dict[Node, Counter] = {}
+        self._num_edges = 0  # counts multiplicity
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, u: Node) -> None:
+        if u not in self._adj:
+            self._adj[u] = Counter()
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        for u in nodes:
+            self.add_node(u)
+
+    def add_edge(self, u: Node, v: Node, count: int = 1) -> None:
+        if count < 1:
+            raise ValueError(f"edge multiplicity must be >= 1, got {count}")
+        if u == v:
+            raise ValueError(f"self-loop at {u!r} not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u][v] += count
+        self._adj[v][u] += count
+        self._num_edges += count
+
+    def remove_node(self, u: Node) -> None:
+        if u not in self._adj:
+            raise KeyError(u)
+        for v, c in self._adj[u].items():
+            del self._adj[v][u]
+            self._num_edges -= c
+        del self._adj[u]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges, counting multiplicity."""
+        return self._num_edges
+
+    @property
+    def num_simple_edges(self) -> int:
+        """Number of distinct adjacent pairs (multiplicity ignored)."""
+        return sum(len(c) for c in self._adj.values()) // 2
+
+    def nodes(self) -> List[Node]:
+        return list(self._adj)
+
+    def has_node(self, u: Node) -> bool:
+        return u in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return v in self._adj.get(u, ())
+
+    def multiplicity(self, u: Node, v: Node) -> int:
+        return self._adj.get(u, Counter())[v]
+
+    def neighbors(self, u: Node) -> List[Node]:
+        """Distinct neighbors of ``u``, sorted for determinism."""
+        return sorted(self._adj[u], key=_key)
+
+    def degree(self, u: Node) -> int:
+        """Degree counting multiplicity."""
+        return sum(self._adj[u].values())
+
+    def simple_degree(self, u: Node) -> int:
+        """Number of distinct neighbors."""
+        return len(self._adj[u])
+
+    def max_degree(self) -> int:
+        return max((self.degree(u) for u in self._adj), default=0)
+
+    def edges(self) -> Iterator[Tuple[Node, Node, int]]:
+        """Yield ``(u, v, multiplicity)`` once per unordered pair, sorted."""
+        for u in sorted(self._adj, key=_key):
+            for v in sorted(self._adj[u], key=_key):
+                if _key(u) <= _key(v):
+                    yield (u, v, self._adj[u][v])
+
+    def edge_multiset(self) -> Counter:
+        """Multiset of canonical edges; the graph's identity up to naming."""
+        out: Counter = Counter()
+        for u, v, c in self.edges():
+            out[_canon(u, v)] = c
+        return out
+
+    def degree_histogram(self) -> Counter:
+        return Counter(self.degree(u) for u in self._adj)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        keep = set(nodes)
+        g = Graph(name=f"{self.name}|sub")
+        for u in self._adj:
+            if u in keep:
+                g.add_node(u)
+        for u, v, c in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v, c)
+        return g
+
+    def quotient(self, mapping: Callable[[Node], Node], keep_internal: bool = False) -> "Graph":
+        """Merge nodes by ``mapping``; parallel edges accumulate multiplicity.
+
+        Edges whose endpoints map to the same supernode are dropped unless
+        ``keep_internal`` — matching the paper's supernode arguments (e.g.
+        merging each ISN row yields the HSN it was derived from, with each
+        inter-cluster link duplicated).
+        """
+        g = Graph(name=f"{self.name}|quotient")
+        for u in self._adj:
+            g.add_node(mapping(u))
+        internal = 0
+        for u, v, c in self.edges():
+            mu, mv = mapping(u), mapping(v)
+            if mu == mv:
+                internal += c
+                continue
+            g.add_edge(mu, mv, c)
+        if keep_internal:
+            g.internal_edges = internal  # type: ignore[attr-defined]
+        return g
+
+    def relabel(self, mapping: Mapping[Node, Node]) -> "Graph":
+        """Apply a node bijection; multiplicities preserved."""
+        if len(set(mapping.values())) != len(mapping):
+            raise ValueError("relabel mapping is not injective")
+        g = Graph(name=self.name)
+        for u in self._adj:
+            g.add_node(mapping[u])
+        for u, v, c in self.edges():
+            g.add_edge(mapping[u], mapping[v], c)
+        return g
+
+    def connected_components(self) -> List[List[Node]]:
+        seen: set = set()
+        comps: List[List[Node]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp = [start]
+            seen.add(start)
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self._adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        comp.append(v)
+                        stack.append(v)
+            comps.append(comp)
+        return comps
+
+    def is_connected(self) -> bool:
+        return self.num_nodes <= 1 or len(self.connected_components()) == 1
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def same_as(self, other: "Graph") -> bool:
+        """Exact equality: same node set and same edge multiset."""
+        return (
+            set(self._adj) == set(other._adj)
+            and self.edge_multiset() == other.edge_multiset()
+        )
+
+    def is_isomorphic_by(self, other: "Graph", mapping: Mapping[Node, Node]) -> bool:
+        """Check that the explicit bijection ``mapping`` (self -> other) is an
+        isomorphism preserving edge multiplicities."""
+        if set(mapping) != set(self._adj):
+            return False
+        if set(mapping.values()) != set(other._adj):
+            return False
+        if len(set(mapping.values())) != len(mapping):
+            return False
+        return self.relabel(mapping).edge_multiset() == other.edge_multiset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph({self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )

@@ -1,0 +1,54 @@
+"""Hypercubes and generalized hypercubes.
+
+``Q_k`` is the nucleus of the paper's swap networks.  The 2-dimensional
+radix-``r`` *generalized hypercube* (Bhuyan–Agrawal) appears in Section 3.2:
+merging each nucleus of ``HSN(3, Q_{n/3})`` into a supernode yields a
+``GHC`` where every pair of supernodes in the same row or column of a 2-D
+arrangement is adjacent — which is exactly why the inter-block wiring of
+the butterfly layout reduces to collinear layouts of complete graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+from .bits import flip_bit
+from .graph import Graph
+
+__all__ = ["hypercube_graph", "generalized_hypercube_graph"]
+
+
+def hypercube_graph(k: int) -> Graph:
+    """The binary ``k``-cube ``Q_k`` on nodes ``0 .. 2**k - 1``."""
+    if k < 0:
+        raise ValueError(f"hypercube dimension must be >= 0, got {k}")
+    g = Graph(name=f"Q_{k}")
+    g.add_nodes(range(1 << k))
+    for u in range(1 << k):
+        for i in range(k):
+            v = flip_bit(u, i)
+            if u < v:
+                g.add_edge(u, v)
+    return g
+
+
+def generalized_hypercube_graph(radices: Sequence[int]) -> Graph:
+    """Generalized hypercube ``GHC(r_1, ..., r_d)``.
+
+    Nodes are tuples ``(a_1, ..., a_d)`` with ``a_i in [0, r_i)``; two nodes
+    are adjacent iff they differ in exactly one coordinate.  The paper's
+    "2-dimensional radix-``2**(n/3)`` generalized hypercube" is
+    ``generalized_hypercube_graph([2**(n//3)] * 2)``.
+    """
+    if not radices or any(r < 2 for r in radices):
+        raise ValueError(f"all radices must be >= 2, got {list(radices)}")
+    g = Graph(name="GHC(" + ",".join(map(str, radices)) + ")")
+    for node in product(*(range(r) for r in radices)):
+        g.add_node(node)
+    for node in product(*(range(r) for r in radices)):
+        for pos, r in enumerate(radices):
+            for alt in range(node[pos] + 1, r):
+                other = node[:pos] + (alt,) + node[pos + 1 :]
+                g.add_edge(node, other)
+    return g

@@ -1,0 +1,184 @@
+"""Indirect swap networks (ISNs) — the paper's Section 2.1 / Appendix A.2.
+
+An ISN is the flow graph of the recursive FFT algorithm on a swap network
+``SN(l, Q_{k1})``.  Writing the algorithm bottom-up gives a *stage
+schedule*: a sequence of steps, each of which is either
+
+* an **exchange step** on nucleus bit ``t`` (the flow graph contributes,
+  between consecutive stages, a *straight* link ``(u, j)-(u, j+1)`` and a
+  *cross* link ``(u, j)-(u ^ 2**t, j+1)`` for every row ``u``), or
+* a **level-i swap step** (every row ``u`` forwards over its level-``i``
+  swap link: ``(u, j)-(sigma_i(u), j+1)``; note that the unordered row pair
+  ``{u, sigma_i(u)}`` therefore carries *two* parallel stage links, one
+  leaving each row — the "duplication" the paper exploits).
+
+For parameters ``(k_1, ..., k_l)`` the schedule is::
+
+    exchange bits 0 .. k_1-1
+    for i = 2 .. l:  swap level i;  exchange bits 0 .. k_i-1
+
+giving ``m = n_l + (l - 1)`` steps and ``m + 1`` node stages of
+``R = 2**n_l`` rows.  Figure 1 of the paper is ``ISN`` with
+``k = (1, 1)``: 4 stages of 4 rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from .bits import flip_bit
+from .graph import Graph
+from .swap import SwapNetworkParams
+
+__all__ = ["ExchangeStep", "SwapStep", "ISN", "isn_graph"]
+
+IsnNode = Tuple[int, int]  # (row, stage)
+
+
+@dataclass(frozen=True)
+class ExchangeStep:
+    """A butterfly exchange on nucleus bit ``bit`` within segment ``segment``."""
+
+    bit: int
+    segment: int  # 1-based level whose FFT pass this exchange belongs to
+
+    kind = "exchange"
+
+
+@dataclass(frozen=True)
+class SwapStep:
+    """A forwarding step over level-``level`` swap links."""
+
+    level: int  # 2-based
+
+    kind = "swap"
+
+
+Step = Union[ExchangeStep, SwapStep]
+
+
+class ISN:
+    """Indirect swap network ``ISN(l; k_1..k_l)``.
+
+    Node addressing follows the paper: ``(x, y)`` with row
+    ``x in [0, 2**n_l)`` and stage ``y in [0, m]``.
+    """
+
+    def __init__(self, params: SwapNetworkParams) -> None:
+        self.params = params
+        self.schedule: List[Step] = self._build_schedule()
+
+    @classmethod
+    def from_ks(cls, ks: Sequence[int]) -> "ISN":
+        return cls(SwapNetworkParams(ks))
+
+    def _build_schedule(self) -> List[Step]:
+        steps: List[Step] = []
+        ks = self.params.ks
+        for t in range(ks[0]):
+            steps.append(ExchangeStep(bit=t, segment=1))
+        for level in range(2, self.params.l + 1):
+            steps.append(SwapStep(level=level))
+            for t in range(ks[level - 1]):
+                steps.append(ExchangeStep(bit=t, segment=level))
+        return steps
+
+    # -- sizes -----------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self.params.num_rows
+
+    @property
+    def num_steps(self) -> int:
+        """``m = n_l + (l - 1)``."""
+        return len(self.schedule)
+
+    @property
+    def stages(self) -> int:
+        """Number of node stages, ``m + 1``."""
+        return self.num_steps + 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.stages * self.rows
+
+    @property
+    def num_edges(self) -> int:
+        total = 0
+        for step in self.schedule:
+            if step.kind == "exchange":
+                total += 2 * self.rows  # straight + cross per row
+            else:
+                total += self.rows  # one swap link leaving every row
+        return total
+
+    # -- link generators ---------------------------------------------------
+    def step_links(self, j: int) -> Iterator[Tuple[IsnNode, IsnNode, str]]:
+        """Links between node stages ``j`` and ``j + 1`` with their kind
+        (``'straight' | 'cross' | 'swap'``)."""
+        if not 0 <= j < self.num_steps:
+            raise ValueError(f"step index must be in [0, {self.num_steps}), got {j}")
+        step = self.schedule[j]
+        if isinstance(step, ExchangeStep):
+            for u in range(self.rows):
+                yield ((u, j), (u, j + 1), "straight")
+                yield ((u, j), (flip_bit(u, step.bit), j + 1), "cross")
+        else:
+            for u in range(self.rows):
+                yield ((u, j), (self.params.sigma(step.level, u), j + 1), "swap")
+
+    def links(self) -> Iterator[Tuple[IsnNode, IsnNode, str]]:
+        for j in range(self.num_steps):
+            yield from self.step_links(j)
+
+    def swap_step_indices(self) -> List[int]:
+        """Step indices ``j`` whose boundary carries swap links."""
+        return [j for j, s in enumerate(self.schedule) if s.kind == "swap"]
+
+    def swap_links_per_row(self) -> int:
+        """Swap-link *endpoints* per row in the ISN: each swap step places
+        one link leaving every row at stage ``j`` and one arriving at stage
+        ``j + 1``, i.e. 2 per swap step = ``2(l - 1)`` per row.  (After the
+        butterfly transformation each is doubled, giving the paper's
+        ``4(l-1)`` swap links per row.)"""
+        return 2 * (self.params.l - 1)
+
+    def boundary_link_lists(self) -> List[List[Tuple[int, int]]]:
+        """Per-boundary ``(u, v)`` row pairs, for the stage-column layout
+        engine (Section 2.1 notes ISNs themselves admit layouts based on
+        collinear complete-graph wiring; the stage-column form is the
+        directly buildable one — swap boundaries become permutation
+        boundaries)."""
+        out: List[List[Tuple[int, int]]] = []
+        for j in range(self.num_steps):
+            out.append(
+                [(u, v) for (u, _s), (v, _s1), _k in self.step_links(j)]
+            )
+        return out
+
+    # -- materialisation ---------------------------------------------------
+    def graph(self) -> Graph:
+        g = Graph(name=f"ISN{self.params.ks}")
+        for y in range(self.stages):
+            for x in range(self.rows):
+                g.add_node((x, y))
+        for u, v, _kind in self.links():
+            g.add_edge(u, v)
+        return g
+
+    def node_link_kinds(self) -> dict:
+        """Map node -> sorted tuple of incident link kinds.  Used to verify
+        the paper's structural remark: with ``k_1 >= 3`` the majority of
+        nodes have two straight and two cross links, the remainder one
+        straight, one cross and one swap link (first/last stages aside)."""
+        kinds: dict = {}
+        for u, v, kind in self.links():
+            kinds.setdefault(u, []).append(kind)
+            kinds.setdefault(v, []).append(kind)
+        return {node: tuple(sorted(ks)) for node, ks in kinds.items()}
+
+
+def isn_graph(ks: Sequence[int]) -> Graph:
+    """Convenience: the :class:`Graph` of ``ISN(l; ks)``."""
+    return ISN.from_ks(ks).graph()

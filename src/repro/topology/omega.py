@@ -1,0 +1,114 @@
+"""Omega (shuffle-exchange) networks — another "related topology" from the
+paper's switch-fabric motivation.
+
+An omega network on ``R = 2**n`` rows has ``n`` identical stage
+boundaries: node ``(u, s)`` connects to ``(sigma(u), s+1)`` and
+``(sigma(u) ^ 1, s+1)`` where ``sigma`` is the perfect shuffle (rotate
+the address left by one bit).  Functionally it is destination-tag
+routable: a packet from any input reaches output ``y`` by selecting, at
+stage ``s``, the link whose low bit matches bit ``n-1-s`` of ``y`` —
+verified exhaustively in the tests.
+
+Structurally the omega network is isomorphic to the butterfly (both are
+FFT networks); here it exercises the *generalised* stage-column layout
+engine, whose boundaries need not be single-bit exchanges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .graph import Graph
+
+__all__ = ["Omega", "omega_graph", "perfect_shuffle", "destination_tag_route"]
+
+
+def perfect_shuffle(u: int, n: int) -> int:
+    """Rotate the low ``n`` bits of ``u`` left by one."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    mask = (1 << n) - 1
+    u &= mask
+    return ((u << 1) | (u >> (n - 1))) & mask
+
+
+@dataclass(frozen=True)
+class Omega:
+    """Omega network on ``2**n`` rows with ``n + 1`` node stages."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+
+    @property
+    def rows(self) -> int:
+        return 1 << self.n
+
+    @property
+    def stages(self) -> int:
+        return self.n + 1
+
+    @property
+    def num_nodes(self) -> int:
+        return self.stages * self.rows
+
+    @property
+    def num_edges(self) -> int:
+        return 2 * self.rows * self.n
+
+    def boundary_links(self, s: int) -> Iterator[Tuple[Tuple[int, int], Tuple[int, int], str]]:
+        if not 0 <= s < self.n:
+            raise ValueError(f"boundary must be in [0, {self.n}), got {s}")
+        for u in range(self.rows):
+            v = perfect_shuffle(u, self.n)
+            yield ((u, s), (v, s + 1), "shuffle")
+            yield ((u, s), (v ^ 1, s + 1), "shuffle-exchange")
+
+    def links(self) -> Iterator[Tuple[Tuple[int, int], Tuple[int, int], str]]:
+        for s in range(self.n):
+            yield from self.boundary_links(s)
+
+    def boundary_link_lists(self) -> List[List[Tuple[int, int]]]:
+        """Per-boundary (u, v) row pairs, for the generalised stage-column
+        layout engine."""
+        out: List[List[Tuple[int, int]]] = []
+        for s in range(self.n):
+            out.append([(u, v) for (u, _), (v, _), _k in self.boundary_links(s)])
+        return out
+
+    def graph(self) -> Graph:
+        g = Graph(name=f"Omega_{self.n}")
+        for s in range(self.stages):
+            for u in range(self.rows):
+                g.add_node((u, s))
+        for u, v, _k in self.links():
+            g.add_edge(u, v)
+        return g
+
+
+def omega_graph(n: int) -> Graph:
+    """Convenience: the :class:`Graph` of the omega network on ``2**n`` rows."""
+    return Omega(n).graph()
+
+
+def destination_tag_route(n: int, src: int, dst: int) -> List[int]:
+    """Rows visited routing ``src -> dst`` by destination tags.
+
+    At stage ``s`` the packet takes the link to
+    ``shuffle(current) with low bit set to bit (n-1-s) of dst``; after
+    ``n`` stages the row equals ``dst`` regardless of ``src``.
+    """
+    R = 1 << n
+    if not (0 <= src < R and 0 <= dst < R):
+        raise ValueError("src/dst out of range")
+    rows = [src]
+    cur = src
+    for s in range(n):
+        cur = perfect_shuffle(cur, n)
+        want = (dst >> (n - 1 - s)) & 1
+        cur = (cur & ~1) | want
+        rows.append(cur)
+    return rows

@@ -1,0 +1,143 @@
+"""Swap networks ``SN(l, Q_{k1})`` and hierarchical swap networks (HSNs).
+
+Appendix A of the paper.  An ``l``-level swap network on parameters
+``k_1 >= k_2 >= ... >= k_l`` (each ``k_i <= k_1`` and, per the recursive
+definition, ``k_i <= n_{i-1}``) has ``2**n_l`` nodes, ``n_l = sum(k_i)``.
+Two nodes are adjacent iff
+
+(a) their addresses differ in exactly one of the low ``k_1`` bits
+    (a *nucleus* link of some dimension ``i < k_1``), or
+(b) one address is obtained from the other by swapping the ``i``-th bit
+    group with the rightmost ``k_i`` bits for some ``i in [2, l]``
+    (a *level-i inter-cluster* link).
+
+An HSN is the special case ``k_1 = k_2 = ... = k_l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .bits import flip_bit, group_offsets, level_swap
+from .graph import Graph
+
+__all__ = ["SwapNetworkParams", "SwapNetwork", "swap_network_graph", "hsn_graph"]
+
+
+@dataclass(frozen=True)
+class SwapNetworkParams:
+    """The parameter vector ``(k_1, ..., k_l)`` shared by SNs and ISNs.
+
+    Validation enforces the constraints from the paper's definition:
+    ``k_i >= 1`` and ``k_i <= n_{i-1}`` for ``i >= 2`` (a level can swap at
+    most as many bits as all previous levels provide).  The paper's layouts
+    additionally use ``k_i <= k_1``, which follows from the HSN-derived
+    families it considers; we check the weaker recursive constraint and
+    expose :meth:`is_hsn_like` for the stronger one.
+    """
+
+    ks: Tuple[int, ...]
+
+    def __init__(self, ks: Sequence[int]) -> None:
+        object.__setattr__(self, "ks", tuple(int(k) for k in ks))
+        if not self.ks:
+            raise ValueError("need at least one level (k_1)")
+        offs = group_offsets(self.ks)  # validates k_i >= 1
+        for i in range(2, len(self.ks) + 1):
+            if self.ks[i - 1] > offs[i - 1]:
+                raise ValueError(
+                    f"k_{i} = {self.ks[i - 1]} exceeds n_{i - 1} = {offs[i - 1]}"
+                )
+
+    @property
+    def l(self) -> int:
+        """Number of levels."""
+        return len(self.ks)
+
+    @property
+    def n(self) -> int:
+        """Total address width ``n_l = sum(k_i)``."""
+        return sum(self.ks)
+
+    @property
+    def offsets(self) -> List[int]:
+        """``[n_0, n_1, ..., n_l]``; group ``i`` is bits ``[n_{i-1}, n_i)``."""
+        return group_offsets(self.ks)
+
+    @property
+    def num_rows(self) -> int:
+        """``R = 2**n_l``."""
+        return 1 << self.n
+
+    def is_hsn_like(self) -> bool:
+        """True when ``k_i <= k_1`` for all levels (paper's layout families)."""
+        return all(k <= self.ks[0] for k in self.ks)
+
+    def is_hsn(self) -> bool:
+        return len(set(self.ks)) == 1
+
+    def sigma(self, level: int, x: int) -> int:
+        """Level-``level`` swap of address ``x`` (1-based level; level 1 = id)."""
+        return level_swap(x, self.ks, level)
+
+    @classmethod
+    def for_dimension(cls, n: int, l: int) -> "SwapNetworkParams":
+        """The paper's parameter choice for an ``n``-dimensional butterfly
+        with ``l`` levels: ``k_i = ceil(n/l)`` for the first ``n mod l``
+        levels and ``floor(n/l)`` for the rest (Section 3.3 uses exactly
+        this for ``l = 3``: e.g. ``n % 3 == 1`` gives ``k_1 = (n+2)/3`` and
+        ``k_2 = k_3 = (n-1)/3``)."""
+        if l < 1 or n < l:
+            raise ValueError(f"need 1 <= l <= n, got l={l} n={n}")
+        q, r = divmod(n, l)
+        ks = [q + 1] * r + [q] * (l - r)
+        return cls(ks)
+
+
+class SwapNetwork:
+    """``SN(l, Q_{k1})`` with general per-level group sizes."""
+
+    def __init__(self, params: SwapNetworkParams) -> None:
+        self.params = params
+
+    @property
+    def num_nodes(self) -> int:
+        return self.params.num_rows
+
+    def nucleus_links(self) -> Iterator[Tuple[int, int]]:
+        k1 = self.params.ks[0]
+        for u in range(self.num_nodes):
+            for i in range(k1):
+                v = flip_bit(u, i)
+                if u < v:
+                    yield (u, v)
+
+    def inter_cluster_links(self, level: int) -> Iterator[Tuple[int, int]]:
+        """Level-``level`` links (level >= 2); fixed points yield no link."""
+        if not 2 <= level <= self.params.l:
+            raise ValueError(f"level must be in [2, {self.params.l}], got {level}")
+        for u in range(self.num_nodes):
+            v = self.params.sigma(level, u)
+            if u < v:
+                yield (u, v)
+
+    def graph(self) -> Graph:
+        g = Graph(name=f"SN{self.params.ks}")
+        g.add_nodes(range(self.num_nodes))
+        for u, v in self.nucleus_links():
+            g.add_edge(u, v)
+        for level in range(2, self.params.l + 1):
+            for u, v in self.inter_cluster_links(level):
+                g.add_edge(u, v)
+        return g
+
+
+def swap_network_graph(ks: Sequence[int]) -> Graph:
+    """Convenience constructor for ``SN`` graphs."""
+    return SwapNetwork(SwapNetworkParams(ks)).graph()
+
+
+def hsn_graph(l: int, k: int) -> Graph:
+    """``HSN(l, Q_k)``: the homogeneous special case."""
+    return swap_network_graph([k] * l)

@@ -1,0 +1,14 @@
+"""ISN -> butterfly transformation (swap-butterflies) and automorphism
+verification."""
+
+from .automorphism import verify_automorphism, verify_by_generators, verify_by_graphs
+from .swap_butterfly import CompositeBoundary, ExchangeBoundary, SwapButterfly
+
+__all__ = [
+    "SwapButterfly",
+    "ExchangeBoundary",
+    "CompositeBoundary",
+    "verify_automorphism",
+    "verify_by_generators",
+    "verify_by_graphs",
+]

@@ -1,0 +1,15 @@
+"""Figure regeneration: SVG layout renders and text figures."""
+
+from .ascii import collinear_figure, isn_schedule_figure, swap_butterfly_figure
+from .board_svg import board_to_svg, save_board_svg
+from .svg import layout_to_svg, save_svg
+
+__all__ = [
+    "layout_to_svg",
+    "board_to_svg",
+    "save_board_svg",
+    "save_svg",
+    "swap_butterfly_figure",
+    "collinear_figure",
+    "isn_schedule_figure",
+]

@@ -1,0 +1,76 @@
+"""Text renderings of the paper's figures.
+
+* Figures 1-2 annotate each swap-butterfly node with its *butterfly row
+  number*; :func:`swap_butterfly_figure` reproduces exactly that label
+  matrix (physical rows down, stages across).
+* Figure 4 is the collinear layout of ``K_9``; :func:`collinear_figure`
+  lists each track's links, grouped by type, matching the figure's
+  structure.
+* :func:`isn_schedule_figure` prints an ISN's stage schedule (which
+  boundaries are exchanges on which bits, which are swaps).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..layout.collinear import track_assignment
+from ..topology.isn import ExchangeStep, ISN
+from ..transform.swap_butterfly import CompositeBoundary, SwapButterfly
+
+__all__ = ["swap_butterfly_figure", "collinear_figure", "isn_schedule_figure"]
+
+
+def swap_butterfly_figure(sb: SwapButterfly) -> str:
+    """The Figure 1/2 label matrix: entry ``(u, s)`` is the butterfly row
+    embedded at physical row ``u``, stage ``s``."""
+    width = max(3, len(str(sb.rows - 1)) + 1)
+    header = "row".ljust(6) + "".join(
+        f"s{s}".rjust(width) for s in range(sb.stages)
+    )
+    lines = [header]
+    for u in range(sb.rows):
+        labels = [sb.phi_inverse(s, u) for s in range(sb.stages)]
+        lines.append(
+            str(u).ljust(6) + "".join(str(x).rjust(width) for x in labels)
+        )
+    marks = ["boundaries:".ljust(6)]
+    for s, b in enumerate(sb.boundaries):
+        tag = f"x{b.bit}" if not isinstance(b, CompositeBoundary) else f"S{b.level}"
+        marks.append(tag)
+    lines.append(" ".join(marks))
+    return "\n".join(lines)
+
+
+def collinear_figure(n: int, order: str = "forward") -> str:
+    """Track-by-track listing of the optimal collinear layout of ``K_n``."""
+    assign = track_assignment(n, order)  # type: ignore[arg-type]
+    by_track: dict = {}
+    for (a, b), t in assign.items():
+        by_track.setdefault(t, []).append((a, b))
+    lines = [f"collinear layout of K_{n}: {max(by_track) + 1} tracks"]
+    for t in sorted(by_track):
+        links = sorted(by_track[t])
+        types = {b - a for a, b in links}
+        tag = ",".join(str(i) for i in sorted(types))
+        lines.append(
+            f"track {t:>3} (type {tag}): "
+            + " ".join(f"{a}-{b}" for a, b in links)
+        )
+    return "\n".join(lines)
+
+
+def isn_schedule_figure(isn: ISN) -> str:
+    """Human-readable stage schedule of an ISN."""
+    lines = [
+        f"ISN{isn.params.ks}: {isn.rows} rows x {isn.stages} stages "
+        f"({isn.num_steps} steps)"
+    ]
+    for j, step in enumerate(isn.schedule):
+        if isinstance(step, ExchangeStep):
+            lines.append(
+                f"step {j:>2}: exchange bit {step.bit} (segment {step.segment})"
+            )
+        else:
+            lines.append(f"step {j:>2}: level-{step.level} swap")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""SVG rendering of board-level designs (Section 5.2 pictures).
+
+Draws the chip grid with channel gaps to scale — the "top view" the
+paper describes for the recursive grid layout at the packaging level.
+Purely schematic (chips and channel bands, not individual board wires;
+the wire-level picture is :mod:`repro.viz.svg` on a built layout).
+"""
+
+from __future__ import annotations
+
+from ..packaging.board import BoardDesign
+
+__all__ = ["board_to_svg", "save_board_svg"]
+
+
+def board_to_svg(design: BoardDesign, scale: float = 1.0) -> str:
+    """Render the chip grid and channels of a :class:`BoardDesign`."""
+    chip = design.chip.side
+    gap_h = design.channel_tracks
+    # vertical channels have the same width in the symmetric designs we
+    # build; recompute from the board side for generality
+    gap_v = design.board_side_x // design.grid_cols - chip
+    W = design.board_side_x * scale
+    H = design.board_side_y * scale
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{W:.0f}" '
+        f'height="{H:.0f}" viewBox="0 0 {W:.0f} {H:.0f}">',
+        f'<rect width="{W:.0f}" height="{H:.0f}" fill="#f4f7e8"/>',
+    ]
+    # channel bands
+    for g in range(design.grid_rows):
+        y = (g * (chip + gap_h) + chip) * scale
+        parts.append(
+            f'<rect x="0" y="{y:.1f}" width="{W:.0f}" '
+            f'height="{gap_h * scale:.1f}" fill="#cdd9f0"/>'
+        )
+    for c in range(design.grid_cols):
+        x = (c * (chip + gap_v) + chip) * scale
+        parts.append(
+            f'<rect x="{x:.1f}" y="0" width="{gap_v * scale:.1f}" '
+            f'height="{H:.0f}" fill="#cdd9f0" fill-opacity="0.6"/>'
+        )
+    # chips
+    for g in range(design.grid_rows):
+        for c in range(design.grid_cols):
+            x = c * (chip + gap_v) * scale
+            y = g * (chip + gap_h) * scale
+            idx = g * design.grid_cols + c
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{chip * scale:.1f}" '
+                f'height="{chip * scale:.1f}" fill="#888" stroke="#333" '
+                f'stroke-width="0.8"><title>chip {idx}: '
+                f"{design.nodes_per_chip} nodes, {design.pins_per_chip} pins"
+                f"</title></rect>"
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_board_svg(design: BoardDesign, path: str, scale: float = 1.0) -> str:
+    """Write the board render to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(board_to_svg(design, scale))
+    return path

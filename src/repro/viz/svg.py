@@ -1,0 +1,95 @@
+"""SVG rendering of layouts (Figures 3 and 4 style output).
+
+Pure-string SVG generation (no dependencies): node rectangles, wire
+polylines colored by layer, vias as dots.  Scales/flips coordinates so
+renders match the paper's figures (y grows upward in our layouts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..layout.model import Layout
+
+__all__ = ["layout_to_svg", "save_svg"]
+
+_LAYER_COLORS = [
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#ff7f0e",
+    "#9467bd",
+    "#8c564b",
+    "#17becf",
+    "#e377c2",
+    "#bcbd22",
+    "#7f7f7f",
+]
+
+
+def _color(layer: int) -> str:
+    return _LAYER_COLORS[(layer - 1) % len(_LAYER_COLORS)]
+
+
+def layout_to_svg(
+    layout: Layout,
+    scale: float = 4.0,
+    margin: float = 10.0,
+    node_fill: str = "#dddddd",
+    show_vias: bool = True,
+    max_wires: Optional[int] = None,
+) -> str:
+    """Render a layout as an SVG document string.
+
+    ``max_wires`` truncates very large layouts (rendering every wire of an
+    ``n = 12`` butterfly produces a 100 MB file; the structure is visible
+    from a sample).
+    """
+    x0, y0, x1, y1 = layout.bounding_box()
+    W = (x1 - x0) * scale + 2 * margin
+    H = (y1 - y0) * scale + 2 * margin
+
+    def tx(x: int) -> float:
+        return (x - x0) * scale + margin
+
+    def ty(y: int) -> float:
+        # flip: our +y is up, SVG +y is down
+        return (y1 - y) * scale + margin
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{W:.0f}" '
+        f'height="{H:.0f}" viewBox="0 0 {W:.0f} {H:.0f}">',
+        f'<rect width="{W:.0f}" height="{H:.0f}" fill="white"/>',
+    ]
+    for node, r in layout.nodes.items():
+        parts.append(
+            f'<rect x="{tx(r.x):.1f}" y="{ty(r.y2):.1f}" '
+            f'width="{r.w * scale:.1f}" height="{r.h * scale:.1f}" '
+            f'fill="{node_fill}" stroke="#555" stroke-width="0.6">'
+            f"<title>{node}</title></rect>"
+        )
+    wires = layout.wires if max_wires is None else layout.wires[:max_wires]
+    for w in wires:
+        for s in w.segments:
+            parts.append(
+                f'<line x1="{tx(s.x1):.1f}" y1="{ty(s.y1):.1f}" '
+                f'x2="{tx(s.x2):.1f}" y2="{ty(s.y2):.1f}" '
+                f'stroke="{_color(s.layer)}" stroke-width="0.8" '
+                f'stroke-opacity="0.8"/>'
+            )
+        if show_vias:
+            for vx, vy in w.vias():
+                parts.append(
+                    f'<circle cx="{tx(vx):.1f}" cy="{ty(vy):.1f}" r="1.2" '
+                    f'fill="#222"/>'
+                )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(layout: Layout, path: str, **kwargs) -> str:
+    """Write the SVG render to ``path``; returns the path."""
+    svg = layout_to_svg(layout, **kwargs)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(svg)
+    return path

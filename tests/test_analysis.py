@@ -1,0 +1,166 @@
+"""Tests for the formula, bound and comparison modules."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.bounds import (
+    collinear_track_lower_bound,
+    injection_rate,
+    pin_lower_bound,
+)
+from repro.analysis.comparison import (
+    format_table,
+    leading_constant_area,
+    leading_constant_volume,
+    leading_constant_wire,
+)
+from repro.analysis.formulas import (
+    avior_area,
+    dinitz_area,
+    log2N,
+    max_node_side_multilayer,
+    max_node_side_thompson,
+    multilayer_area,
+    multilayer_max_wire,
+    multilayer_volume,
+    muthukrishnan_area,
+    num_nodes,
+    offmodule_avg_per_node,
+    offmodule_avg_upper_bounds,
+    thompson_area,
+    thompson_max_wire,
+    yeh_previous_max_wire,
+)
+
+
+class TestFormulas:
+    def test_num_nodes(self):
+        assert num_nodes(9) == 5120
+        assert num_nodes(3) == 32
+        with pytest.raises(ValueError):
+            num_nodes(0)
+
+    def test_log2N(self):
+        assert log2N(9) == pytest.approx(math.log2(5120))
+
+    def test_thompson(self):
+        N = 5120
+        assert thompson_area(9) == pytest.approx(N * N / math.log2(N) ** 2)
+        assert thompson_max_wire(9) == pytest.approx(N / math.log2(N))
+
+    def test_multilayer_even_odd(self):
+        assert multilayer_area(9, 2) == pytest.approx(thompson_area(9))
+        assert multilayer_area(9, 4) == pytest.approx(thompson_area(9) / 4)
+        # odd L: denominator L^2 - 1
+        assert multilayer_area(9, 3) == pytest.approx(4 * thompson_area(9) / 8)
+        assert multilayer_area(9, 5) == pytest.approx(4 * thompson_area(9) / 24)
+
+    def test_multilayer_wire_and_volume(self):
+        assert multilayer_max_wire(9, 4) == pytest.approx(thompson_max_wire(9) / 2)
+        assert multilayer_volume(9, 4) == pytest.approx(4 * multilayer_area(9, 4))
+        with pytest.raises(ValueError):
+            multilayer_area(9, 1)
+        with pytest.raises(ValueError):
+            multilayer_max_wire(9, 0)
+
+    def test_prior_work_ordering(self):
+        """Dinitz (slanted) < Muthukrishnan (knock-knee) < Avior = ours (L=2)."""
+        n = 12
+        assert dinitz_area(n) < muthukrishnan_area(n) < avior_area(n)
+        assert avior_area(n) == pytest.approx(thompson_area(n))
+
+    def test_wire_improvement_factor_two(self):
+        assert yeh_previous_max_wire(10) == pytest.approx(2 * thompson_max_wire(10))
+
+    def test_offmodule_display(self):
+        assert offmodule_avg_per_node(3, 3) == Fraction(4 * 2 * 7, 10 * 8)
+        lo, hi = offmodule_avg_upper_bounds(3, 3)
+        assert offmodule_avg_per_node(3, 3) < lo < hi == Fraction(4, 3)
+        with pytest.raises(ValueError):
+            offmodule_avg_per_node(1, 3)
+
+    def test_node_side_thresholds(self):
+        assert max_node_side_multilayer(9, 2) == pytest.approx(
+            max_node_side_thompson(9) / 2
+        )
+
+
+class TestBounds:
+    def test_collinear_lb(self):
+        assert collinear_track_lower_bound(9) == 20
+        assert collinear_track_lower_bound(8) == 16
+
+    def test_injection_rate(self):
+        assert injection_rate(512) == pytest.approx(1 / 9)
+        with pytest.raises(ValueError):
+            injection_rate(100)
+
+    def test_pin_lower_bound(self):
+        # 80-node module of B_9: ~ 80/9 pins minimum
+        assert pin_lower_bound(80, 512) == pytest.approx(80 / 9)
+        with pytest.raises(ValueError):
+            pin_lower_bound(0, 512)
+
+    def test_theorem21_within_constant_of_lb(self):
+        """The paper's partitions sit within a small constant of the pin
+        lower bound."""
+        from repro.packaging.pins import row_partition_offmodule_per_module
+
+        for k in (3, 4, 5):
+            ks = (k, k, k)
+            n = 3 * k
+            pins = row_partition_offmodule_per_module(ks)
+            lb = pin_lower_bound((n + 1) * 2**k, 2**n)
+            assert 1 <= pins / lb <= 8
+
+
+class TestComparison:
+    def test_leading_constants_invert_formulas(self):
+        n, L = 9, 4
+        assert leading_constant_area(multilayer_area(n, L), n, L) == pytest.approx(1)
+        assert leading_constant_wire(multilayer_max_wire(n, L), n, L) == pytest.approx(1)
+        assert leading_constant_volume(multilayer_volume(n, L), n, L) == pytest.approx(1)
+
+    def test_leading_constant_odd_L(self):
+        assert leading_constant_area(multilayer_area(9, 5), 9, 5) == pytest.approx(1)
+
+    def test_format_table(self):
+        rows = [
+            {"n": 6, "area": 82820, "ratio": 4.93281},
+            {"n": 9, "area": 2076228, "ratio": 1.2e-5},
+        ]
+        out = format_table(rows)
+        assert "n" in out.splitlines()[0]
+        assert "4.933" in out
+        assert "1.200e-05" in out
+        assert format_table([]) == "(empty)"
+
+    def test_format_table_column_subset(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+
+class TestWireStats:
+    def test_stats_and_histogram(self):
+        from repro.analysis.wirestats import length_histogram, wire_stats
+        from repro.layout.collinear import collinear_layout
+
+        cl = collinear_layout(9)
+        s = wire_stats(cl.layout)
+        assert s.count == 36
+        assert s.max == cl.layout.max_wire_length()
+        assert s.total == cl.layout.total_wire_length()
+        assert s.mean <= s.max and s.median <= s.p90 <= s.p99 <= s.max
+        hist = length_histogram(cl.layout, [20, 50, 100])
+        assert sum(c for _b, c in hist) == 36
+
+    def test_empty_layout_rejected(self):
+        import pytest as _pytest
+
+        from repro.analysis.wirestats import wire_stats
+        from repro.layout.model import Layout, thompson_model
+
+        with _pytest.raises(ValueError):
+            wire_stats(Layout(model=thompson_model()))

@@ -1,0 +1,153 @@
+"""Unit and property tests for the bit-address algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.bits import (
+    bit,
+    bit_reverse,
+    flip_bit,
+    from_bit_string,
+    get_bits,
+    group_offsets,
+    ilog2,
+    is_power_of_two,
+    level_swap,
+    popcount,
+    set_bits,
+    swap_bit_groups,
+    to_bit_string,
+)
+
+
+class TestBitBasics:
+    def test_bit(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 3) == 1
+
+    def test_bit_negative_index(self):
+        with pytest.raises(ValueError):
+            bit(3, -1)
+
+    def test_flip_bit(self):
+        assert flip_bit(0b1010, 0) == 0b1011
+        assert flip_bit(0b1010, 1) == 0b1000
+
+    def test_get_bits(self):
+        assert get_bits(0b110101, 2, 3) == 0b101
+        assert get_bits(0b110101, 0, 6) == 0b110101
+        assert get_bits(0b110101, 0, 0) == 0
+
+    def test_set_bits(self):
+        assert set_bits(0b110101, 2, 3, 0b010) == 0b101001
+        with pytest.raises(ValueError):
+            set_bits(0, 0, 2, 4)
+
+    def test_swap_bit_groups_example(self):
+        # swap bits [3,6) with [0,3) of 0b101110 -> 0b110101
+        assert swap_bit_groups(0b101110, 3, 0, 3) == 0b110101
+
+    def test_swap_bit_groups_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            swap_bit_groups(0b1111, 1, 0, 2)
+
+    def test_swap_bit_groups_same_position_identity(self):
+        assert swap_bit_groups(0b1011, 2, 2, 2) == 0b1011
+
+
+class TestGroupOffsets:
+    def test_offsets(self):
+        assert group_offsets([3, 2, 1]) == [0, 3, 5, 6]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            group_offsets([2, 0])
+
+
+class TestLevelSwap:
+    def test_level_one_identity(self):
+        assert level_swap(0b101101, [3, 3], 1) == 0b101101
+
+    def test_level_two_swaps_groups(self):
+        # ks = (2, 2): swap bits [2,4) with [0,2)
+        assert level_swap(0b1101, [2, 2], 2) == 0b0111
+
+    def test_out_of_range_level(self):
+        with pytest.raises(ValueError):
+            level_swap(0, [2, 2], 3)
+
+
+class TestPowersAndLogs:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(1024) == 10
+        with pytest.raises(ValueError):
+            ilog2(3)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b10110) == 3
+
+
+class TestBitStrings:
+    def test_roundtrip(self):
+        assert from_bit_string(to_bit_string(0b1011, 6)) == 0b1011
+
+    def test_to_bit_string_width(self):
+        assert to_bit_string(5, 4) == "0101"
+        with pytest.raises(ValueError):
+            to_bit_string(16, 4)
+
+    def test_from_bit_string_rejects_junk(self):
+        with pytest.raises(ValueError):
+            from_bit_string("01x")
+        with pytest.raises(ValueError):
+            from_bit_string("")
+
+    def test_bit_reverse(self):
+        assert bit_reverse(0b0011, 4) == 0b1100
+        assert bit_reverse(0b1, 3) == 0b100
+
+
+@given(st.integers(min_value=0, max_value=2**20 - 1), st.integers(0, 15), st.integers(0, 6))
+def test_get_set_roundtrip(x, lo, width):
+    v = get_bits(x, lo, width)
+    assert set_bits(x, lo, width, v) == x
+
+
+@given(
+    st.integers(min_value=0, max_value=2**24 - 1),
+    st.integers(0, 8),
+    st.integers(12, 20),
+    st.integers(0, 4),
+)
+def test_swap_groups_involution(x, lo1, lo2, width):
+    y = swap_bit_groups(x, lo1, lo2, width)
+    assert swap_bit_groups(y, lo1, lo2, width) == x
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(1, 16))
+def test_bit_reverse_involution(x, width):
+    x &= (1 << width) - 1
+    assert bit_reverse(bit_reverse(x, width), width) == x
+
+
+@given(st.lists(st.integers(1, 4), min_size=2, max_size=4))
+def test_level_swap_involution(ks):
+    # enforce k_i <= n_{i-1}
+    total = ks[0]
+    valid = [ks[0]]
+    for k in ks[1:]:
+        valid.append(min(k, total))
+        total += valid[-1]
+    for level in range(2, len(valid) + 1):
+        for x in range(0, 1 << sum(valid), 7):
+            y = level_swap(x, valid, level)
+            assert level_swap(y, valid, level) == x

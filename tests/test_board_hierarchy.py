@@ -1,0 +1,148 @@
+"""Tests for the Section 5.2 board example, the hierarchical model, and the
+packaging optimizer."""
+
+import pytest
+
+from repro.packaging.board import ChipSpec, board_design, paper_board_example
+from repro.packaging.hierarchy import LevelSpec, design_two_level
+from repro.packaging.optimizer import (
+    Candidate,
+    enumerate_parameter_vectors,
+    optimize_packaging,
+)
+
+
+class TestBoardExample:
+    def test_paper_numbers_L2(self):
+        d = paper_board_example(layers=2)
+        assert d.num_chips == 64
+        assert d.nodes_per_chip == 80
+        assert d.pins_per_chip == 56  # within the 64-pin budget
+        assert d.channel_links == 64
+        assert d.channel_links_optimized == 60
+        assert d.board_side_x == d.board_side_y == 640
+        assert d.board_area == 409600  # the paper's 409.6K
+
+    def test_paper_numbers_L4_L8(self):
+        assert paper_board_example(4).board_area == 160000  # 160K
+        d8 = paper_board_example(8)
+        assert d8.board_area == 78400  # 78.4K
+        # "the space required by wires between neighboring chips is 15,
+        # somewhat smaller than the side of a chip"
+        assert d8.wire_space_between_chips == 15
+        assert d8.wire_space_between_chips < d8.chip.side
+
+    def test_naive_comparison(self):
+        d = paper_board_example()
+        assert d.naive_chips_paper_estimate == 171
+        assert d.naive_chips_paper_estimate > 2 * d.num_chips
+
+    def test_diminishing_returns(self):
+        """'the saving in total area diminishes ... when L becomes larger'."""
+        areas = [paper_board_example(L).board_area for L in (2, 4, 8, 16)]
+        savings = [a / b for a, b in zip(areas, areas[1:])]
+        assert all(s1 > s2 for s1, s2 in zip(savings, savings[1:]))
+
+    def test_pin_limit_enforced(self):
+        with pytest.raises(ValueError):
+            board_design((3, 3, 3), ChipSpec(max_pins=40, side=20))
+
+    def test_unoptimized_channels(self):
+        d = board_design(
+            (3, 3, 3), ChipSpec(64, 20), layers=2, optimize_neighbor_links=False
+        )
+        assert d.channel_tracks == 64
+        assert d.board_side_x == 8 * 84
+
+    def test_other_parameters(self):
+        d = board_design((4, 3, 3), ChipSpec(max_pins=200, side=20))
+        assert d.num_chips == 2**6
+        assert d.nodes_per_chip == 16 * 11
+
+    def test_chipspec_validation(self):
+        with pytest.raises(ValueError):
+            ChipSpec(0, 20)
+
+
+class TestHierarchy:
+    def test_two_level_feasible(self):
+        d = design_two_level(
+            (3, 3, 3),
+            LevelSpec("chip", max_pins=64, max_side=20),
+            LevelSpec("board", wiring_layers=2),
+        )
+        assert d.feasible
+        assert d.board.board_area == 409600
+        assert d.summary()["feasible"]
+
+    def test_pin_violation_reported(self):
+        d = design_two_level(
+            (3, 3, 3),
+            LevelSpec("chip", max_pins=64, max_side=20),
+            LevelSpec("board", wiring_layers=2, max_side=600),
+        )
+        assert not d.feasible
+        assert any("board side" in v for v in d.violations)
+
+    def test_wire_width_scales_board(self):
+        thin = design_two_level(
+            (3, 3, 3),
+            LevelSpec("chip", max_pins=64, max_side=20),
+            LevelSpec("board", wiring_layers=2),
+        )
+        thick = design_two_level(
+            (3, 3, 3),
+            LevelSpec("chip", max_pins=64, max_side=20),
+            LevelSpec("board", wiring_layers=2, wire_width=2),
+        )
+        assert thick.board.board_area > thin.board.board_area
+
+    def test_requires_chip_side(self):
+        with pytest.raises(ValueError):
+            design_two_level(
+                (3, 3, 3), LevelSpec("chip", max_pins=64), LevelSpec("board")
+            )
+
+    def test_levelspec_validation(self):
+        with pytest.raises(ValueError):
+            LevelSpec("x", wire_width=0)
+
+
+class TestOptimizer:
+    def test_enumeration_valid(self):
+        vecs = list(enumerate_parameter_vectors(6, max_l=3))
+        assert (6,) in vecs
+        assert (3, 3) in vecs
+        assert (2, 2, 2) in vecs
+        # non-increasing only
+        for v in vecs:
+            assert list(v) == sorted(v, reverse=True)
+            assert sum(v) == 6
+
+    def test_section52_choice_is_best(self):
+        """Under the 64-pin budget at n = 9, the paper's (3,3,3) row
+        partition minimises module count."""
+        cands = optimize_packaging(9, max_pins_per_module=64)
+        best = cands[0]
+        assert best.ks == (3, 3, 3)
+        assert best.scheme == "row"
+        assert best.num_modules == 64
+
+    def test_module_size_constraint_flips_choice(self):
+        """The paper's remark: under a tight module-size limit, the nucleus
+        variant (larger k1, fewer levels) wins."""
+        cands = optimize_packaging(9, max_nodes_per_module=40)
+        assert cands, "no feasible candidate"
+        assert cands[0].scheme == "nucleus"
+
+    def test_infeasible_returns_empty(self):
+        assert optimize_packaging(9, max_pins_per_module=1) == []
+
+    def test_sort_key_order(self):
+        cands = optimize_packaging(8, max_pins_per_module=128)
+        keys = [c.sort_key() for c in cands]
+        assert keys == sorted(keys)
+
+    def test_enumeration_validation(self):
+        with pytest.raises(ValueError):
+            list(enumerate_parameter_vectors(0))

@@ -1,0 +1,96 @@
+"""Tests for butterfly network construction."""
+
+import pytest
+
+from repro.topology.butterfly import Butterfly, butterfly_graph, wrapped_butterfly_graph
+
+
+class TestSizes:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_node_and_edge_counts(self, n):
+        b = Butterfly(n)
+        assert b.num_nodes == (n + 1) * 2**n
+        assert b.num_edges == 2 * n * 2**n
+        g = b.graph()
+        assert g.num_nodes == b.num_nodes
+        assert g.num_edges == b.num_edges
+
+    def test_from_rows(self):
+        assert Butterfly.from_rows(8).n == 3
+        with pytest.raises(ValueError):
+            Butterfly.from_rows(6)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            Butterfly(0)
+
+
+class TestNeighbors:
+    def test_straight(self):
+        b = Butterfly(3)
+        assert b.straight_neighbor(5, 1) == (5, 2)
+
+    def test_cross_flips_stage_bit(self):
+        b = Butterfly(3)
+        assert b.cross_neighbor(0b000, 0) == (0b001, 1)
+        assert b.cross_neighbor(0b000, 2) == (0b100, 3)
+
+    def test_out_of_range(self):
+        b = Butterfly(2)
+        with pytest.raises(ValueError):
+            b.cross_neighbor(0, 2)  # no boundary after last stage
+        with pytest.raises(ValueError):
+            b.straight_neighbor(4, 0)
+
+
+class TestStructure:
+    def test_degrees(self):
+        b = Butterfly(3)
+        g = b.graph()
+        for r in range(8):
+            assert g.degree((r, 0)) == 2
+            assert g.degree((r, 3)) == 2
+            assert g.degree((r, 1)) == 4
+        assert b.degree(0, 0) == 2
+        assert b.degree(0, 1) == 4
+
+    def test_connected(self):
+        assert butterfly_graph(3).is_connected()
+
+    def test_boundary_edges_count(self):
+        b = Butterfly(3)
+        for s in range(3):
+            assert len(list(b.boundary_edges(s))) == 2 * 8
+
+    def test_simple_graph(self):
+        g = butterfly_graph(3)
+        assert g.num_edges == g.num_simple_edges
+
+    def test_rows_exchange_bit_s(self):
+        """Two rows differing only in bit s are joined across boundary s —
+        the ascend property."""
+        b = Butterfly(4)
+        g = b.graph()
+        for s in range(4):
+            for r in range(16):
+                assert g.has_edge((r, s), (r ^ (1 << s), s + 1))
+
+
+class TestWrapped:
+    def test_wrapped_sizes(self):
+        g = wrapped_butterfly_graph(3)
+        assert g.num_nodes == 3 * 8
+        # every boundary keeps its 2R links, including the wrap boundary
+        assert g.num_edges == 2 * 3 * 8
+
+    def test_wrapped_degree_regular(self):
+        g = wrapped_butterfly_graph(3)
+        assert set(g.degree_histogram()) == {4}
+
+    def test_wrapped_n1_degenerate(self):
+        g = wrapped_butterfly_graph(1)
+        # single stage; straight self-wraps are dropped; the two directed
+        # cross links wrap onto the same pair, leaving a double link
+        assert g.num_nodes == 2
+        assert g.num_edges == 2
+        assert g.num_simple_edges == 1

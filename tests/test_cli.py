@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_ks_parsing(self):
+        args = build_parser().parse_args(["verify", "--ks", "3,3,3"])
+        assert args.ks == (3, 3, 3)
+
+    def test_bad_ks(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--ks", "a,b"])
+
+
+class TestCommands:
+    def test_verify(self, capsys):
+        assert main(["verify", "--ks", "2,2,2"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_materialize(self, capsys):
+        assert main(["verify", "--ks", "2,2", "--materialize"]) == 0
+        assert "graph comparison" in capsys.readouterr().out
+
+    def test_layout(self, capsys, tmp_path):
+        svg = tmp_path / "out.svg"
+        assert main(["layout", "--ks", "1,1,1", "--svg", str(svg)]) == 0
+        out = capsys.readouterr().out
+        assert "validation: OK" in out
+        assert "area" in out
+        assert svg.exists()
+
+    def test_dims(self, capsys):
+        assert main(["dims", "--ks", "8,8,8", "--layers", "4"]) == 0
+        assert "area" in capsys.readouterr().out
+
+    def test_collinear(self, capsys):
+        assert main(["collinear", "-n", "9", "--tracks"]) == 0
+        out = capsys.readouterr().out
+        assert "20 tracks" in out
+        assert "track  19" in out
+
+    def test_board(self, capsys):
+        assert main(["board", "--layers", "8"]) == 0
+        assert "78400" in capsys.readouterr().out
+
+    def test_optimize(self, capsys):
+        assert main(["optimize", "-n", "9", "--max-pins", "64"]) == 0
+        assert "(3, 3, 3)" in capsys.readouterr().out
+
+    def test_optimize_infeasible(self, capsys):
+        assert main(["optimize", "-n", "9", "--max-pins", "1"]) == 1
+
+    def test_multilevel(self, capsys):
+        assert main(["multilevel", "--ks", "3,3,3"]) == 0
+        assert "224" in capsys.readouterr().out
+
+    def test_hypercube(self, capsys):
+        assert main(["hypercube", "-n", "4"]) == 0
+        assert "Q_4" in capsys.readouterr().out
+
+    def test_benes(self, capsys):
+        assert main(["benes", "-n", "4", "--permutations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("realized=OK") == 2
+
+    def test_fft(self, capsys):
+        assert main(["fft", "--ks", "2,2"]) == 0
+        assert "max |err|" in capsys.readouterr().out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 4" in out
+
+    def test_ccc(self, capsys):
+        assert main(["ccc", "-n", "3"]) == 0
+        assert "CCC(3)" in capsys.readouterr().out
+
+    def test_omega(self, capsys):
+        assert main(["omega", "-n", "3"]) == 0
+        assert "routes checked: 8" in capsys.readouterr().out
+
+    def test_sort(self, capsys):
+        assert main(["sort", "-n", "5"]) == 0
+        assert "sorted=OK" in capsys.readouterr().out
+
+    def test_isn_layout(self, capsys):
+        assert main(["isn-layout", "--ks", "2,2"]) == 0
+        assert "valid=OK" in capsys.readouterr().out
+
+    def test_board_svg(self, capsys, tmp_path):
+        svg = tmp_path / "board.svg"
+        assert main(["board", "--svg", str(svg)]) == 0
+        assert svg.exists()

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; a refactor that breaks one
+should fail the suite, not a user.  Each script is executed in-process
+(``runpy``) with stdout captured.
+"""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+SCRIPTS = [
+    "quickstart.py",
+    "layout_gallery.py",
+    "packaging_study.py",
+    "multilayer_tradeoffs.py",
+    "node_scalability.py",
+    "fft_dataflow.py",
+    "other_networks.py",
+    "switching_fabrics.py",
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_OUT_DIR", str(tmp_path))
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), path
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced real output
+    assert "Traceback" not in out
+
+
+def test_all_examples_listed():
+    actual = {
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    }
+    assert actual == set(SCRIPTS)

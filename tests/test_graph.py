@@ -1,0 +1,168 @@
+"""Tests for the multigraph substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.graph import Graph
+
+
+def triangle(mult=1):
+    g = Graph("tri")
+    g.add_edge(0, 1, mult)
+    g.add_edge(1, 2, mult)
+    g.add_edge(0, 2, mult)
+    return g
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = triangle()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert g.num_simple_edges == 3
+
+    def test_multiplicity(self):
+        g = triangle(4)
+        assert g.num_edges == 12
+        assert g.num_simple_edges == 3
+        assert g.multiplicity(0, 1) == 4
+        assert g.degree(0) == 8
+        assert g.simple_degree(0) == 2
+
+    def test_add_edge_accumulates(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b", 2)
+        assert g.multiplicity("a", "b") == 3
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_bad_multiplicity_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, 0)
+
+    def test_remove_node(self):
+        g = triangle()
+        g.remove_node(1)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 1)
+        with pytest.raises(KeyError):
+            g.remove_node(99)
+
+    def test_isolated_nodes(self):
+        g = Graph()
+        g.add_nodes(range(5))
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert g.degree(3) == 0
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        g = Graph()
+        g.add_edge(5, 2)
+        g.add_edge(5, 9)
+        g.add_edge(5, 1)
+        assert g.neighbors(5) == [1, 2, 9]
+
+    def test_edges_canonical(self):
+        g = triangle(2)
+        edges = list(g.edges())
+        assert edges == [(0, 1, 2), (0, 2, 2), (1, 2, 2)]
+
+    def test_edge_multiset(self):
+        g = triangle()
+        assert g.edge_multiset() == {(0, 1): 1, (0, 2): 1, (1, 2): 1}
+
+    def test_degree_histogram(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert g.degree_histogram() == {1: 2, 2: 1}
+
+    def test_mixed_node_types_sort(self):
+        g = Graph()
+        g.add_edge(1, (0, 1))
+        assert g.neighbors(1) == [(0, 1)]
+        assert list(g.edges()) == [(1, (0, 1), 1)]
+
+
+class TestStructure:
+    def test_subgraph(self):
+        g = triangle()
+        sub = g.subgraph([0, 1])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+
+    def test_quotient_accumulates_multiplicity(self):
+        # 4-cycle quotiented to 2 supernodes: 2 parallel inter-links
+        g = Graph()
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            g.add_edge(a, b)
+        q = g.quotient(lambda u: u % 2)
+        assert q.num_nodes == 2
+        assert q.multiplicity(0, 1) == 4
+
+    def test_quotient_drops_internal(self):
+        g = triangle()
+        q = g.quotient(lambda u: 0 if u < 2 else 1)
+        assert q.num_edges == 2  # edges 0-2 and 1-2; 0-1 internal
+
+    def test_relabel_preserves_structure(self):
+        g = triangle(3)
+        h = g.relabel({0: "x", 1: "y", 2: "z"})
+        assert h.multiplicity("x", "y") == 3
+        assert h.num_edges == g.num_edges
+
+    def test_relabel_requires_injection(self):
+        g = triangle()
+        with pytest.raises(ValueError):
+            g.relabel({0: "x", 1: "x", 2: "z"})
+
+    def test_connected_components(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        g.add_node(4)
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+        assert not g.is_connected()
+        assert triangle().is_connected()
+
+
+class TestComparison:
+    def test_same_as(self):
+        assert triangle().same_as(triangle())
+        assert not triangle().same_as(triangle(2))
+
+    def test_isomorphism_by_mapping(self):
+        g = triangle()
+        h = g.relabel({0: 10, 1: 11, 2: 12})
+        assert g.is_isomorphic_by(h, {0: 10, 1: 11, 2: 12})
+        # a wrong mapping on a path graph must fail
+        p = Graph()
+        p.add_edge(0, 1)
+        p.add_edge(1, 2)
+        q = p.relabel({0: 10, 1: 11, 2: 12})
+        assert not p.is_isomorphic_by(q, {0: 11, 1: 10, 2: 12})
+
+    def test_isomorphism_wrong_domain(self):
+        g, h = triangle(), triangle()
+        assert not g.is_isomorphic_by(h, {0: 0, 1: 1})
+
+
+@given(st.sets(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=30))
+def test_quotient_preserves_total_edges(pairs):
+    g = Graph()
+    count = 0
+    for a, b in pairs:
+        if a != b:
+            g.add_edge(a, b)
+            count += 1
+    q = g.quotient(lambda u: u % 3, keep_internal=True)
+    assert q.num_edges + q.internal_edges == count

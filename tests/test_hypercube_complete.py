@@ -1,0 +1,79 @@
+"""Tests for hypercubes, generalized hypercubes, and complete (multi)graphs."""
+
+import pytest
+
+from repro.topology.complete import complete_graph, complete_multigraph, num_links
+from repro.topology.hypercube import generalized_hypercube_graph, hypercube_graph
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5])
+    def test_counts(self, k):
+        g = hypercube_graph(k)
+        assert g.num_nodes == 2**k
+        assert g.num_edges == k * 2 ** (k - 1) if k else g.num_edges == 0
+
+    def test_regular_degree(self):
+        g = hypercube_graph(4)
+        assert set(g.degree_histogram()) == {4}
+
+    def test_neighbors_differ_one_bit(self):
+        g = hypercube_graph(3)
+        for u in range(8):
+            for v in g.neighbors(u):
+                assert bin(u ^ v).count("1") == 1
+
+    def test_negative_dimension(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(-1)
+
+
+class TestGeneralizedHypercube:
+    def test_2d_radix4(self):
+        # the Section 3.2 supernode graph: same row/col complete
+        g = generalized_hypercube_graph([4, 4])
+        assert g.num_nodes == 16
+        # each node: 3 row + 3 col neighbors
+        assert set(g.degree_histogram()) == {6}
+        assert g.has_edge((0, 0), (0, 3))
+        assert g.has_edge((0, 0), (3, 0))
+        assert not g.has_edge((0, 0), (1, 1))
+
+    def test_ghc_equals_hypercube_for_radix2(self):
+        g = generalized_hypercube_graph([2, 2, 2])
+        h = hypercube_graph(3)
+        mapping = {
+            node: node[0] * 4 + node[1] * 2 + node[2] for node in g.nodes()
+        }
+        assert g.is_isomorphic_by(h, mapping)
+
+    def test_rejects_radix_below_two(self):
+        with pytest.raises(ValueError):
+            generalized_hypercube_graph([2, 1])
+        with pytest.raises(ValueError):
+            generalized_hypercube_graph([])
+
+
+class TestComplete:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_counts(self, n):
+        g = complete_graph(n)
+        assert g.num_nodes == n
+        assert g.num_edges == n * (n - 1) // 2
+        assert g.num_edges == num_links(n)
+
+    def test_multigraph(self):
+        g = complete_multigraph(8, 4)
+        assert g.num_edges == 4 * 28
+        assert g.multiplicity(2, 7) == 4
+        assert num_links(8, 4) == 112
+
+    def test_degree(self):
+        g = complete_multigraph(5, 3)
+        assert set(g.degree_histogram()) == {12}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            complete_graph(0)
+        with pytest.raises(ValueError):
+            complete_multigraph(3, 0)

@@ -1,0 +1,118 @@
+"""Tests for indirect swap networks."""
+
+import pytest
+from hypothesis import given
+
+from repro.topology.isn import ExchangeStep, ISN, SwapStep, isn_graph
+from repro.topology.swap import SwapNetworkParams
+
+from tests.conftest import param_vector_strategy
+
+
+class TestSchedule:
+    def test_fig1_schedule(self):
+        # Figure 1: 4x4 ISN with k = (1, 1): 4 stages
+        isn = ISN.from_ks((1, 1))
+        kinds = [s.kind for s in isn.schedule]
+        assert kinds == ["exchange", "swap", "exchange"]
+        assert isn.stages == 4
+        assert isn.rows == 4
+
+    def test_schedule_structure(self):
+        isn = ISN.from_ks((3, 2, 2))
+        kinds = [s.kind for s in isn.schedule]
+        assert kinds == (
+            ["exchange"] * 3 + ["swap"] + ["exchange"] * 2 + ["swap"] + ["exchange"] * 2
+        )
+        bits = [s.bit for s in isn.schedule if isinstance(s, ExchangeStep)]
+        assert bits == [0, 1, 2, 0, 1, 0, 1]
+
+    def test_counts(self):
+        isn = ISN.from_ks((2, 2, 2))
+        assert isn.num_steps == 6 + 2
+        assert isn.stages == 9
+        assert isn.num_nodes == 9 * 64
+        # exchange steps: 2R links each; swap steps: R links each
+        assert isn.num_edges == 6 * 2 * 64 + 2 * 64
+
+    def test_swap_step_indices(self):
+        isn = ISN.from_ks((2, 2, 2))
+        assert isn.swap_step_indices() == [2, 5]
+
+    def test_swap_links_per_row(self):
+        assert ISN.from_ks((2, 2, 2)).swap_links_per_row() == 4
+        assert ISN.from_ks((2, 2)).swap_links_per_row() == 2
+
+
+class TestLinks:
+    def test_exchange_step_links(self):
+        isn = ISN.from_ks((2, 2))
+        links = list(isn.step_links(0))  # exchange on bit 0
+        assert len(links) == 2 * 16
+        assert (((0, 0), (0, 1), "straight")) in links
+        assert (((0, 0), (1, 1), "cross")) in links
+
+    def test_swap_step_links(self):
+        isn = ISN.from_ks((2, 2))
+        j = isn.swap_step_indices()[0]
+        links = list(isn.step_links(j))
+        assert len(links) == 16  # one per row
+        # row pair {u, sigma(u)} carries two links (one leaving each side)
+        by_pair = {}
+        for (u, _), (v, _), kind in links:
+            assert kind == "swap"
+            key = (min(u, v), max(u, v))
+            by_pair[key] = by_pair.get(key, 0) + 1
+        for (u, v), c in by_pair.items():
+            assert c == (2 if u != v else 1)
+
+    def test_step_index_validation(self):
+        isn = ISN.from_ks((1, 1))
+        with pytest.raises(ValueError):
+            list(isn.step_links(isn.num_steps))
+
+    def test_graph_counts(self):
+        g = isn_graph((1, 1))
+        assert g.num_nodes == 16
+        assert g.num_edges == 2 * 2 * 4 + 4  # 2 exchange steps + 1 swap step
+        assert g.is_connected()
+
+
+class TestStructuralRemark:
+    def test_link_kind_profile(self):
+        """Paper, Section 2.1: with k1 >= 3 the majority of nodes have two
+        straight and two cross links; the rest (outside first/last stage)
+        have one straight, one cross and one swap link."""
+        isn = ISN.from_ks((3, 3))
+        kinds = isn.node_link_kinds()
+        interior = {
+            node: k
+            for node, k in kinds.items()
+            if node[1] not in (0, isn.stages - 1)
+        }
+        profiles = set(interior.values())
+        assert profiles <= {
+            ("cross", "cross", "straight", "straight"),
+            ("cross", "straight", "swap"),
+            ("cross", "straight", "swap", "swap"),  # fixed-point swap rows
+        }
+        majority = sum(
+            1
+            for k in interior.values()
+            if k == ("cross", "cross", "straight", "straight")
+        )
+        assert majority > len(interior) / 2
+
+
+@given(param_vector_strategy(max_l=4, max_k1=3, max_n=8))
+def test_isn_invariants(ks):
+    isn = ISN.from_ks(ks)
+    p = SwapNetworkParams(ks)
+    assert isn.num_steps == p.n + p.l - 1
+    # every node in stages [0, m) has out-degree 2 (exchange) or 1 (swap)
+    for j, step in enumerate(isn.schedule):
+        links = list(isn.step_links(j))
+        expected = 2 * isn.rows if step.kind == "exchange" else isn.rows
+        assert len(links) == expected
+        for (u, ju), (v, jv), _k in links:
+            assert ju == j and jv == j + 1

@@ -1,0 +1,102 @@
+"""Tests for multi-level packaging hierarchies and the 3-D volume model."""
+
+import math
+
+import pytest
+
+from repro.layout.multilayer3d import (
+    footprint_3d,
+    min_volume_3d,
+    optimal_layers_3d,
+    volume_3d,
+    volume_sweep,
+)
+from repro.packaging.multilevel import LevelStats, multilevel_design, multilevel_pins
+
+
+class TestMultilevelPins:
+    def test_level1_matches_row_partition(self):
+        from repro.packaging.pins import row_partition_offmodule_per_module
+
+        for ks in [(2, 2), (3, 3, 3), (3, 2, 2), (2, 2, 2, 2)]:
+            assert multilevel_pins(ks, 1) == row_partition_offmodule_per_module(ks)
+
+    def test_top_level_zero(self):
+        assert multilevel_pins((3, 3, 3), 3) == 0
+
+    def test_section52_hierarchy(self):
+        # chips (level 1): 56 pins; boards of 8 chips (level 2): 224
+        assert multilevel_pins((3, 3, 3), 1) == 56
+        assert multilevel_pins((3, 3, 3), 2) == 4 * (64 - 8)
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            multilevel_pins((2, 2), 3)
+
+    def test_closed_form_verified_by_enumeration(self):
+        # verify=True raises if the closed form ever disagrees
+        for ks in [(2, 2), (2, 2, 2), (3, 2, 2), (2, 2, 2, 2)]:
+            multilevel_design(ks, verify=True)
+
+
+class TestMultilevelDesign:
+    def test_structure(self):
+        stats = multilevel_design((3, 3, 3))
+        assert [s.level for s in stats] == [1, 2, 3]
+        assert stats[0].num_modules == 64
+        assert stats[1].num_modules == 8
+        assert stats[1].submodules_per_module == 8
+        assert stats[2].num_modules == 1
+
+    def test_nodes_partition_exactly(self):
+        stats = multilevel_design((2, 2, 2))
+        n = 6
+        total = (n + 1) << n
+        for s in stats:
+            assert s.num_modules * s.nodes_per_module == total
+
+    def test_improvement_positive_at_every_level(self):
+        for s in multilevel_design((3, 3, 3))[:-1]:
+            assert s.pins_per_module < s.naive_pins_same_size
+
+    def test_improvement_fraction(self):
+        s1 = multilevel_design((3, 3, 3))[0]
+        assert float(s1.improvement) == pytest.approx(96 / 56)
+
+
+class TestVolume3D:
+    def test_regimes(self):
+        n = 20
+        lstar = optimal_layers_3d(n)
+        assert footprint_3d(n, max(2, int(lstar / 4))) > footprint_3d(n, int(lstar * 2))
+        # node-limited floor
+        N = (n + 1) << n
+        assert footprint_3d(n, int(lstar * 4)) == N
+
+    def test_optimum_is_crossover(self):
+        n = 18
+        lstar = optimal_layers_3d(n)
+        v_star = volume_3d(n, int(round(lstar)))
+        assert v_star <= volume_3d(n, max(2, int(lstar / 2))) * 1.01
+        assert v_star <= volume_3d(n, int(lstar * 2)) * 1.01
+
+    def test_paper_theta_sqrtN_over_logN(self):
+        for n in (12, 18, 24):
+            N = (n + 1) << n
+            assert optimal_layers_3d(n) == pytest.approx(
+                2 * math.sqrt(N) / math.log2(N)
+            )
+            assert min_volume_3d(n) == pytest.approx(
+                2 * N ** 1.5 / math.log2(N)
+            )
+
+    def test_sweep_v_shape(self):
+        pts = volume_sweep(20)
+        vols = [p.volume for p in pts]
+        mid = min(range(len(vols)), key=vols.__getitem__)
+        assert 0 < mid < len(vols) - 1
+        assert pts[0].regime == "wiring" and pts[-1].regime == "nodes"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            footprint_3d(10, 1)

@@ -1,0 +1,228 @@
+"""Tests for the companion-network layouts (hypercube, GHC, torus) built
+on the 2-D grid recipe — the paper's conclusion extension."""
+
+import pytest
+
+from repro.layout.collinear import optimal_track_count
+from repro.layout.ghc_layout import (
+    cycle_collinear_congestion,
+    ghc_2d_layout,
+    torus_2d_layout,
+)
+from repro.layout.grid2d import build_grid2d_layout
+from repro.layout.hypercube_layout import (
+    hypercube_2d_area_estimate,
+    hypercube_2d_dims,
+    hypercube_2d_layout,
+    hypercube_collinear_congestion,
+)
+from repro.layout.validate import validate_layout
+from repro.topology.graph import Graph
+from repro.topology.hypercube import generalized_hypercube_graph, hypercube_graph
+
+
+class TestHypercubeCongestion:
+    def test_closed_form_small(self):
+        assert hypercube_collinear_congestion(1) == 1
+        assert hypercube_collinear_congestion(2) == 2
+        assert hypercube_collinear_congestion(3) == 5
+        assert hypercube_collinear_congestion(4) == 10
+
+    def test_closed_form_matches_engine(self):
+        from repro.layout.collinear_generic import max_congestion
+
+        for b in range(1, 9):
+            g = hypercube_graph(b)
+            assert max_congestion(g, range(1 << b)) == hypercube_collinear_congestion(b)
+
+
+class TestHypercubeLayout:
+    @pytest.mark.parametrize("n,L", [(2, 2), (4, 2), (5, 2), (6, 2), (6, 4), (7, 3)])
+    def test_validates(self, n, L):
+        res = hypercube_2d_layout(n, L=L)
+        rep = validate_layout(res.layout, res.graph)
+        assert rep.ok, rep.errors[:3]
+
+    def test_realizes_hypercube(self):
+        """The grid layout's network is isomorphic to Q_n under the
+        (row, col) -> (row << b) | col relabeling."""
+        n, b = 5, 3
+        res = hypercube_2d_layout(n, split=(2, 3))
+        q = hypercube_graph(n)
+        mapping = {(r, c): (r << b) | c for (r, c) in res.graph.nodes()}
+        assert res.graph.is_isomorphic_by(q, mapping)
+
+    def test_dims_match_builder(self):
+        for n, L in [(4, 2), (6, 2), (6, 4)]:
+            res = hypercube_2d_layout(n, L=L)
+            d = hypercube_2d_dims(n, L=L)
+            assert res.dims == d
+            x0, y0, x1, y1 = res.layout.bounding_box()
+            assert d.width - (x1 - x0) == 2
+            assert d.height - (y1 - y0) == 2
+
+    def test_area_converges_to_4_9_N2(self):
+        """(2/3 N)^2 leading term at L=2, via closed-form dims."""
+        ratios = []
+        for n in (8, 12, 16, 20, 24, 30):
+            d = hypercube_2d_dims(n)
+            ratios.append(d.area / hypercube_2d_area_estimate(n))
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] < 1.01
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            hypercube_2d_layout(4, split=(1, 2))
+        with pytest.raises(ValueError):
+            hypercube_2d_layout(4, split=(0, 4))
+        with pytest.raises(ValueError):
+            hypercube_2d_dims(6, split=(2, 3))
+
+    def test_multilayer_shrinks(self):
+        d2 = hypercube_2d_dims(16, L=2)
+        d4 = hypercube_2d_dims(16, L=4)
+        assert d4.area < d2.area
+
+
+class TestGhcAndTorus:
+    def test_ghc_validates_and_matches_graph(self):
+        res = ghc_2d_layout(4, 4)
+        rep = validate_layout(res.layout, res.graph)
+        assert rep.ok, rep.errors[:3]
+        ghc = generalized_hypercube_graph([4, 4])
+        assert res.graph.is_isomorphic_by(ghc, {n: n for n in res.graph.nodes()})
+
+    def test_ghc_channels_are_appendix_b(self):
+        res = ghc_2d_layout(8, 8)
+        assert res.dims.row_tracks == optimal_track_count(8)
+        assert res.dims.col_tracks == optimal_track_count(8)
+
+    def test_torus_validates(self):
+        for k in (3, 4, 6):
+            res = torus_2d_layout(k)
+            rep = validate_layout(res.layout, res.graph)
+            assert rep.ok, rep.errors[:3]
+            assert res.dims.row_tracks == 2
+
+    def test_cycle_congestion(self):
+        assert cycle_collinear_congestion(3) == 2
+        assert cycle_collinear_congestion(8) == 2
+        assert cycle_collinear_congestion(2) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ghc_2d_layout(1, 4)
+        with pytest.raises(ValueError):
+            torus_2d_layout(2)
+
+
+class TestGrid2DBuilder:
+    def test_rejects_bad_graphs(self):
+        bad = Graph()
+        bad.add_edge(0, 7)  # node 7 outside a 4-column row
+
+        with pytest.raises(ValueError):
+            build_grid2d_layout(2, 4, lambda r: bad, lambda c: Graph())
+
+    def test_empty_channels(self):
+        """Rows only (no column links): vertical channels collapse."""
+        row = Graph()
+        row.add_nodes(range(3))
+        row.add_edge(0, 2)
+        empty = Graph()
+        empty.add_nodes(range(2))
+        res = build_grid2d_layout(2, 3, lambda r: row, lambda c: empty)
+        rep = validate_layout(res.layout, res.graph)
+        assert rep.ok, rep.errors
+        assert res.dims.chan_v == 0
+
+    def test_inhomogeneous_rows(self):
+        def row_graph(r):
+            g = Graph()
+            g.add_nodes(range(3))
+            if r == 0:
+                g.add_edge(0, 1)
+                g.add_edge(1, 2)
+            return g
+
+        empty = Graph()
+        empty.add_nodes(range(2))
+        res = build_grid2d_layout(2, 3, row_graph, lambda c: empty)
+        rep = validate_layout(res.layout, res.graph)
+        assert rep.ok, rep.errors
+        assert res.graph.num_edges == 2
+
+
+class TestSplitChannels:
+    """The Section 5.2 remark, geometrically: splitting each link set to
+    opposite node edges halves the per-edge terminal demand."""
+
+    @staticmethod
+    def _k8x4(_):
+        g = Graph("K8x4")
+        g.add_nodes(range(8))
+        for u in range(8):
+            for v in range(u + 1, 8):
+                g.add_edge(u, v, 4)
+        return g
+
+    def test_board_wiring_fits_side_20_chips(self):
+        """K_8 with quadruple links needs 28 terminals unsplit (> 20);
+        split channels bring it to 14 + 1 per edge, and the full 8x8
+        board layout validates."""
+        with pytest.raises(ValueError):
+            build_grid2d_layout(8, 8, self._k8x4, self._k8x4, W=20)
+        res = build_grid2d_layout(
+            8, 8, self._k8x4, self._k8x4, W=20, split_channels=True, name="board"
+        )
+        rep = validate_layout(res.layout, res.graph)
+        assert rep.ok, rep.errors[:3]
+        # each split channel carries half the 64 tracks
+        assert res.dims.chan_h == res.dims.chan_h2 == 32
+        assert res.dims.chan_v == res.dims.chan_v2 == 32
+        # realises K_8 x4 on every row and column
+        assert res.graph.multiplicity((0, 0), (0, 7)) == 4
+        assert res.graph.multiplicity((0, 0), (7, 0)) == 4
+
+    def test_split_halves_demand(self):
+        full = build_grid2d_layout(4, 4, self._mini, self._mini)
+        split = build_grid2d_layout(
+            4, 4, self._mini, self._mini, split_channels=True
+        )
+        assert split.dims.chan_h < full.dims.chan_h
+        for r in (full, split):
+            validate_layout(r.layout, r.graph).raise_if_failed()
+        assert split.graph.same_as(full.graph)
+
+    @staticmethod
+    def _mini(_):
+        g = Graph("K4x2")
+        g.add_nodes(range(4))
+        for u in range(4):
+            for v in range(u + 1, 4):
+                g.add_edge(u, v, 2)
+        return g
+
+    def test_split_with_multilayer(self):
+        res = build_grid2d_layout(
+            4, 4, self._mini, self._mini, split_channels=True, L=4
+        )
+        validate_layout(res.layout, res.graph).raise_if_failed()
+
+
+class TestSplitWrappers:
+    def test_hypercube_split(self):
+        from repro.layout.hypercube_layout import hypercube_2d_layout
+
+        full = hypercube_2d_layout(6)
+        half = hypercube_2d_layout(6, split_channels=True)
+        for r in (full, half):
+            validate_layout(r.layout, r.graph).raise_if_failed()
+        assert half.graph.same_as(full.graph)
+        # per-edge terminal demand halves (3 per edge instead of 6... +1)
+        assert half.dims.chan_h < full.dims.chan_h
+
+    def test_ghc_split(self):
+        res = ghc_2d_layout(8, 8, split_channels=True)
+        validate_layout(res.layout, res.graph).raise_if_failed()
+        assert res.dims.chan_h2 > 0

@@ -1,0 +1,182 @@
+"""Tests for partitions, pin accounting, and baselines (Section 2.3)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.packaging.baseline import (
+    NaiveRowPartition,
+    max_rows_within_pin_limit,
+    naive_avg_per_node,
+    naive_module_count,
+    naive_offmodule_per_module,
+    paper_estimate_max_rows,
+    paper_estimate_module_count,
+)
+from repro.packaging.partition import NucleusPartition, RowPartition
+from repro.packaging.pins import (
+    count_off_module_links,
+    nucleus_partition_module_bound,
+    row_partition_avg_bound,
+    row_partition_avg_per_node,
+    row_partition_offmodule_per_module,
+)
+from repro.topology.butterfly import Butterfly
+from repro.transform.swap_butterfly import SwapButterfly
+
+from tests.conftest import param_vector_strategy
+
+
+class TestRowPartition:
+    def test_section52_numbers(self):
+        sb = SwapButterfly.from_ks((3, 3, 3))
+        part = RowPartition.natural(sb)
+        assert part.num_modules == 64
+        assert part.nodes_per_module == 80
+        rep = count_off_module_links(part)
+        assert rep.max_per_module == 56
+        assert rep.avg_per_node == Fraction(7, 10)
+
+    def test_closed_form_matches_enumeration(self):
+        for ks in [(2, 2), (2, 2, 2), (3, 2, 2), (3, 3, 2), (2, 2, 2, 2)]:
+            sb = SwapButterfly.from_ks(ks)
+            rep = count_off_module_links(RowPartition.natural(sb))
+            formula = row_partition_offmodule_per_module(ks)
+            assert rep.max_per_module == formula
+            # uniform across modules
+            assert set(rep.per_module.values()) == {formula}
+            assert rep.avg_per_node == row_partition_avg_per_node(ks)
+
+    def test_paper_display_formula(self):
+        """4(l-1)(2^k1 - 1)/((n+1) 2^k1) for HSN-derived vectors."""
+        for l, k1 in [(2, 2), (3, 3), (3, 2), (4, 2)]:
+            ks = (k1,) * l
+            n = l * k1
+            expected = Fraction(
+                4 * (l - 1) * (2**k1 - 1), (n + 1) * 2**k1
+            )
+            assert row_partition_avg_per_node(ks) == expected
+
+    def test_bound_chain(self):
+        # value < 4(l-1)/(n+1) < 4/k1
+        for ks in [(3, 3, 3), (2, 2, 2, 2)]:
+            v = row_partition_avg_per_node(ks)
+            assert v < row_partition_avg_bound(ks)
+            assert row_partition_avg_bound(ks) == Fraction(4, ks[0])
+
+    def test_row_bits_validation(self):
+        sb = SwapButterfly.from_ks((2, 2))
+        with pytest.raises(ValueError):
+            RowPartition(sb, 5)
+
+    def test_module_of(self):
+        sb = SwapButterfly.from_ks((2, 2))
+        part = RowPartition.natural(sb)
+        assert part.module_of((0, 0)) == 0
+        assert part.module_of((7, 3)) == 1
+
+
+class TestNucleusPartition:
+    def test_theorem_21_bound(self):
+        """Theorem 2.1: <= 2^(k1+2) off-module links per module."""
+        for ks in [(2, 2), (2, 2, 2), (3, 2, 2), (3, 3, 3), (3, 3, 2)]:
+            sb = SwapButterfly.from_ks(ks)
+            part = NucleusPartition(sb)
+            rep = count_off_module_links(part)
+            assert rep.max_per_module <= nucleus_partition_module_bound(ks[0])
+
+    def test_interior_modules_hit_bound_exactly(self):
+        sb = SwapButterfly.from_ks((2, 2, 2))
+        rep = count_off_module_links(NucleusPartition(sb))
+        assert rep.max_per_module == 16  # 2^(2+2)
+        # first/last-segment modules have one-sided boundaries: 2^(k+1)
+        assert min(rep.per_module.values()) == 8
+
+    def test_module_counts(self):
+        sb = SwapButterfly.from_ks((3, 3, 3))
+        part = NucleusPartition(sb)
+        assert part.num_modules == 3 * 2**6
+        assert count_off_module_links(part).num_modules == part.num_modules
+
+    def test_module_sizes(self):
+        sb = SwapButterfly.from_ks((3, 2, 2))
+        part = NucleusPartition(sb)
+        # segment 1: (k1+1) stages x 2^k1 rows; others: k_i x 2^k_i
+        assert part.nodes_per_module(1) == 4 * 8
+        assert part.nodes_per_module(2) == 2 * 4
+        assert part.max_nodes_per_module == 32
+        sizes = part.module_sizes()
+        assert sum(sizes.values()) == sb.num_nodes
+
+    def test_segment_of_stage(self):
+        sb = SwapButterfly.from_ks((3, 2, 2))
+        part = NucleusPartition(sb)
+        assert [part.segment_of_stage(s) for s in range(8)] == [
+            1, 1, 1, 1, 2, 2, 3, 3
+        ]
+
+    def test_all_composite_links_cross(self):
+        sb = SwapButterfly.from_ks((2, 2, 2))
+        rep = count_off_module_links(NucleusPartition(sb))
+        # (l-1) composite boundaries x 2 links per row
+        assert rep.off_module_links == 2 * 2 * sb.rows
+
+
+class TestNaiveBaseline:
+    def test_avg_close_to_two(self):
+        """The paper's 'approximately 2 off-module links per node'."""
+        b = Butterfly(9)
+        part = NaiveRowPartition(b, 1)
+        assert float(part.avg_per_node()) == pytest.approx(1.8, abs=0.01)
+        assert naive_avg_per_node(9, 0) == Fraction(18, 10)
+
+    def test_closed_form_matches_enumeration_aligned(self):
+        for n, bbits in [(5, 1), (6, 2), (7, 0)]:
+            b = Butterfly(n)
+            part = NaiveRowPartition(b, 1 << bbits)
+            expect = naive_offmodule_per_module(n, bbits)
+            pins = part.exact_pin_counts()
+            assert max(pins.values()) == expect
+
+    def test_paper_estimate_section52(self):
+        assert paper_estimate_max_rows(9, 64) == 3
+        assert paper_estimate_module_count(9, 64) == 171
+
+    def test_exact_count_kinder_than_estimate(self):
+        """Aligned power-of-two groups keep low-bit cross links inside, so
+        exact counting admits more rows than the paper's 2/node estimate."""
+        m_exact = max_rows_within_pin_limit(9, 64)
+        assert m_exact >= paper_estimate_max_rows(9, 64)
+        assert naive_module_count(9, 64) <= 171
+
+    def test_ours_beats_naive_by_log_factor(self):
+        """Section 2.3: factor Theta(log N) between ~2 and 4(l-1)(...)."""
+        for l, k1 in [(2, 3), (3, 3), (3, 4)]:
+            ks = (k1,) * l
+            n = l * k1
+            ours = row_partition_avg_per_node(ks)
+            naive = naive_avg_per_node(n, 0)
+            # ratio ~ 2n / (4(l-1)) = Theta(log N) for fixed l
+            assert naive / ours >= n / (2 * (l - 1))
+
+    def test_validation(self):
+        b = Butterfly(4)
+        with pytest.raises(ValueError):
+            NaiveRowPartition(b, 0)
+        with pytest.raises(ValueError):
+            NaiveRowPartition(b, 17)
+        with pytest.raises(ValueError):
+            naive_offmodule_per_module(4, 5)
+        with pytest.raises(ValueError):
+            paper_estimate_max_rows(9, 10)
+
+
+@settings(deadline=None, max_examples=15)
+@given(param_vector_strategy(max_l=3, max_k1=3, max_n=7))
+def test_pin_closed_forms_property(ks):
+    sb = SwapButterfly.from_ks(ks)
+    rep = count_off_module_links(RowPartition.natural(sb))
+    assert rep.max_per_module == row_partition_offmodule_per_module(ks)
+    nrep = count_off_module_links(NucleusPartition(sb))
+    assert nrep.max_per_module <= nucleus_partition_module_bound(ks[0])

@@ -1,0 +1,57 @@
+"""Tests for graph-property calculators."""
+
+import pytest
+
+from repro.topology.butterfly import butterfly_graph
+from repro.topology.complete import complete_graph
+from repro.topology.properties import (
+    bfs_distances,
+    butterfly_average_distance,
+    complete_graph_bisection_width,
+    diameter,
+)
+
+
+class TestBisection:
+    def test_even_odd(self):
+        assert complete_graph_bisection_width(8) == 16
+        assert complete_graph_bisection_width(9) == 20
+        assert complete_graph_bisection_width(2) == 1
+        with pytest.raises(ValueError):
+            complete_graph_bisection_width(0)
+
+    def test_closed_forms(self):
+        for n in range(1, 40):
+            if n % 2 == 0:
+                assert complete_graph_bisection_width(n) == n * n // 4
+            else:
+                assert complete_graph_bisection_width(n) == (n * n - 1) // 4
+
+
+class TestDistances:
+    def test_average_distance(self):
+        assert butterfly_average_distance(9) == 9.0
+        with pytest.raises(ValueError):
+            butterfly_average_distance(0)
+
+    def test_bfs(self):
+        g = complete_graph(5)
+        d = bfs_distances(g, 0)
+        assert d[0] == 0
+        assert all(d[v] == 1 for v in range(1, 5))
+
+    def test_diameter_complete(self):
+        assert diameter(complete_graph(6)) == 1
+
+    def test_diameter_butterfly(self):
+        # unwrapped B_n diameter is 2n
+        assert diameter(butterfly_graph(2)) == 4
+
+    def test_diameter_disconnected(self):
+        from repro.topology.graph import Graph
+
+        g = Graph()
+        g.add_node(0)
+        g.add_node(1)
+        with pytest.raises(ValueError):
+            diameter(g)

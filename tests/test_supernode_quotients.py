@@ -1,0 +1,127 @@
+"""The Section 3.2 supernode arguments, verified as graph quotients.
+
+"If we merge each row of an ISN(3, B_{n/3}) into a super node, it
+becomes the HSN(3, Q_{n/3}) it was derived from, where each
+inter-cluster link is duplicated (corresponding to two swap links); if
+we continue to merge each nucleus hypercube ... into a supernode
+(corresponding to a block), it becomes a 2-dimensional radix-2^{n/3}
+generalized hypercube ...  Since each swap link of an ISN is duplicated
+to transform it to a corresponding butterfly network, each pair of
+blocks belonging to the same row or column ... are connected by 4
+links."
+
+These are the structural facts the whole layout rests on; here they are
+checked *as stated*, by quotienting the actual graphs.
+"""
+
+import pytest
+
+from repro.topology.graph import Graph
+from repro.topology.hypercube import generalized_hypercube_graph
+from repro.topology.isn import ISN
+from repro.topology.swap import SwapNetworkParams, swap_network_graph
+from repro.transform.swap_butterfly import SwapButterfly
+
+
+def _row_quotient(links, rows: int) -> Graph:
+    """Merge each row of a staged network into a supernode."""
+    g = Graph("rows")
+    g.add_nodes(range(rows))
+    for (u, _s), (v, _s1), _k in links:
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+class TestIsnRowQuotient:
+    @pytest.mark.parametrize("ks", [(2, 2, 2), (2, 2), (3, 2, 2)])
+    def test_swap_links_give_doubled_hsn_intercluster(self, ks):
+        """Restricting the row quotient to swap links yields exactly the
+        SN's inter-cluster links, each with multiplicity 2."""
+        isn = ISN.from_ks(ks)
+        q = Graph("swap-quotient")
+        q.add_nodes(range(isn.rows))
+        for (u, _s), (v, _s1), kind in isn.links():
+            if kind == "swap" and u != v:
+                q.add_edge(u, v)
+        sn = swap_network_graph(ks)
+        params = SwapNetworkParams(ks)
+        expected = Graph("expected")
+        expected.add_nodes(range(isn.rows))
+        for level in range(2, params.l + 1):
+            for u in range(isn.rows):
+                v = params.sigma(level, u)
+                if u < v:
+                    expected.add_edge(u, v, 2)
+        assert q.same_as(expected)
+        # and the adjacency structure (ignoring multiplicity) is the SN's
+        # inter-cluster part
+        for u, v, _c in q.edges():
+            assert sn.has_edge(u, v)
+
+    def test_full_quotient_covers_nucleus_dims_uniformly(self):
+        """Cross links quotient to nucleus (hypercube) adjacencies; for an
+        HSN-derived ISN every nucleus dimension is exercised once per
+        segment, twice per boundary (both directed links)."""
+        ks = (2, 2, 2)
+        isn = ISN.from_ks(ks)
+        q = _row_quotient(isn.links(), isn.rows)
+        k1, l = ks[0], len(ks)
+        for u in range(isn.rows):
+            for t in range(k1):
+                v = u ^ (1 << t)
+                # bit t used in every segment: multiplicity 2l
+                assert q.multiplicity(u, v) == 2 * l
+
+
+class TestBlockQuotient:
+    @pytest.mark.parametrize("ks", [(2, 2, 2), (3, 2, 2), (2, 2, 1)])
+    def test_blocks_form_generalized_hypercube_with_4x_links(self, ks):
+        """Quotient the swap-butterfly by block id: blocks in the same
+        grid row/column pair up with exactly 4 * 2^{k1-k_i} links; the
+        simple adjacency is the 2-D generalized hypercube."""
+        k1, k2, k3 = ks
+        sb = SwapButterfly.from_ks(ks)
+        gc = 1 << k2
+
+        def block(node):
+            u, _s = node
+            bid = u >> k1
+            return (bid >> k2, bid & (gc - 1))  # (grid row, grid col)
+
+        q = Graph("blocks")
+        for u, v, _kind in sb.links():
+            bu, bv = block(u), block(v)
+            if bu != bv:
+                q.add_edge(bu, bv)
+        ghc = generalized_hypercube_graph([1 << k3, gc]) if (
+            (1 << k3) >= 2 and gc >= 2
+        ) else None
+        if ghc is not None:
+            mapping = {node: node for node in q.nodes()}
+            # same adjacency (simple-graph view)
+            for a, b, _c in q.edges():
+                assert ghc.has_edge(a, b)
+            assert q.num_simple_edges == ghc.num_edges
+        # multiplicities: same grid row -> level-2 -> 4*2^{k1-k2};
+        # same grid column -> level-3 -> 4*2^{k1-k3}
+        for (r1, c1), (r2, c2), mult in q.edges():
+            if r1 == r2:
+                assert mult == 4 << (k1 - k2)
+            else:
+                assert c1 == c2
+                assert mult == 4 << (k1 - k3)
+
+    def test_paper_headline_case(self):
+        """k1 = k2 = k3: 'each pair of blocks belonging to the same row
+        or column ... connected by 4 links'."""
+        sb = SwapButterfly.from_ks((2, 2, 2))
+
+        def block(node):
+            return node[0] >> 2
+
+        q = Graph("blocks")
+        for u, v, _k in sb.links():
+            if block(u) != block(v):
+                q.add_edge(block(u), block(v))
+        assert set(c for _u, _v, c in q.edges()) == {4}

@@ -1,0 +1,90 @@
+"""Tests for swap networks and their parameter records."""
+
+import pytest
+from hypothesis import given
+
+from repro.topology.hypercube import hypercube_graph
+from repro.topology.swap import SwapNetwork, SwapNetworkParams, hsn_graph, swap_network_graph
+
+from tests.conftest import param_vector_strategy
+
+
+class TestParams:
+    def test_offsets(self):
+        p = SwapNetworkParams([3, 2, 1])
+        assert p.offsets == [0, 3, 5, 6]
+        assert p.n == 6
+        assert p.l == 3
+        assert p.num_rows == 64
+
+    def test_constraint_ki_le_prefix(self):
+        with pytest.raises(ValueError):
+            SwapNetworkParams([1, 2])  # k2 > n_1
+        SwapNetworkParams([2, 2])  # boundary case fine
+
+    def test_rejects_empty_and_zero(self):
+        with pytest.raises(ValueError):
+            SwapNetworkParams([])
+        with pytest.raises(ValueError):
+            SwapNetworkParams([2, 0])
+
+    def test_hsn_flags(self):
+        assert SwapNetworkParams([2, 2, 2]).is_hsn()
+        assert not SwapNetworkParams([3, 2, 2]).is_hsn()
+        assert SwapNetworkParams([3, 2, 2]).is_hsn_like()
+
+    def test_sigma_level1_identity(self):
+        p = SwapNetworkParams([2, 2])
+        assert p.sigma(1, 0b1101) == 0b1101
+
+    def test_sigma_swaps_group(self):
+        p = SwapNetworkParams([2, 2])
+        assert p.sigma(2, 0b1101) == 0b0111
+
+    def test_for_dimension(self):
+        assert SwapNetworkParams.for_dimension(9, 3).ks == (3, 3, 3)
+        assert SwapNetworkParams.for_dimension(10, 3).ks == (4, 3, 3)
+        assert SwapNetworkParams.for_dimension(11, 3).ks == (4, 4, 3)
+        with pytest.raises(ValueError):
+            SwapNetworkParams.for_dimension(2, 3)
+
+
+class TestSwapNetwork:
+    def test_one_level_is_hypercube(self):
+        g = swap_network_graph([3])
+        h = hypercube_graph(3)
+        assert g.same_as(h)
+
+    def test_two_level_counts(self):
+        # SN(2, Q_2): 16 nodes; nucleus links 16*2/2 = 16... per node 2
+        g = swap_network_graph([2, 2])
+        assert g.num_nodes == 16
+        nucleus = 16 * 2 // 2
+        # level-2 links: involution sigma has fixed points where the two
+        # groups coincide (4 of 16), so (16 - 4)/2 = 6 links
+        assert g.num_edges == nucleus + 6
+
+    def test_hsn_alias(self):
+        assert hsn_graph(2, 2).same_as(swap_network_graph([2, 2]))
+
+    def test_inter_cluster_level_validation(self):
+        sn = SwapNetwork(SwapNetworkParams([2, 2]))
+        with pytest.raises(ValueError):
+            list(sn.inter_cluster_links(1))
+        with pytest.raises(ValueError):
+            list(sn.inter_cluster_links(3))
+
+    def test_connected(self):
+        assert swap_network_graph([2, 2]).is_connected()
+        assert swap_network_graph([2, 2, 2]).is_connected()
+
+
+@given(param_vector_strategy(max_l=3, max_k1=3, max_n=7))
+def test_sigma_involution_and_degree_bound(ks):
+    p = SwapNetworkParams(ks)
+    for level in range(2, p.l + 1):
+        for x in range(p.num_rows):
+            assert p.sigma(level, p.sigma(level, x)) == x
+    g = SwapNetwork(p).graph()
+    # degree <= k1 nucleus + (l-1) inter-cluster links
+    assert g.max_degree() <= p.ks[0] + (p.l - 1)

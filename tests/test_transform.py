@@ -1,0 +1,131 @@
+"""Tests for the ISN -> butterfly transformation and its verification."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.topology.butterfly import Butterfly
+from repro.topology.swap import SwapNetworkParams
+from repro.transform.automorphism import (
+    verify_automorphism,
+    verify_by_generators,
+    verify_by_graphs,
+)
+from repro.transform.swap_butterfly import (
+    CompositeBoundary,
+    ExchangeBoundary,
+    SwapButterfly,
+)
+
+from tests.conftest import param_vector_strategy
+
+
+class TestBoundaries:
+    def test_boundary_sequence(self):
+        sb = SwapButterfly.from_ks((3, 2, 2))
+        kinds = [b.kind for b in sb.boundaries]
+        assert kinds == [
+            "exchange",
+            "exchange",
+            "exchange",
+            "composite",
+            "exchange",
+            "composite",
+            "exchange",
+        ]
+        assert sb.composite_boundary_stages() == [3, 5]
+
+    def test_composite_at_group_offsets(self):
+        sb = SwapButterfly.from_ks((2, 2, 2))
+        assert sb.composite_boundary_stages() == [2, 4]
+
+    def test_stage_count(self):
+        sb = SwapButterfly.from_ks((2, 2, 2))
+        assert sb.stages == 7
+        assert sb.num_nodes == 7 * 64
+        assert sb.num_edges == 2 * 64 * 6
+
+    def test_boundary_links_arity(self):
+        sb = SwapButterfly.from_ks((2, 2))
+        for s in range(sb.n):
+            links = list(sb.boundary_links(s))
+            assert len(links) == 2 * sb.rows
+
+    def test_swap_links_per_row_formula(self):
+        # paper: 4(l-1) swap links per row in the swap-butterfly
+        assert SwapButterfly.from_ks((3, 3, 3)).swap_links_per_row() == 8
+        assert SwapButterfly.from_ks((2, 2)).swap_links_per_row() == 4
+
+    def test_boundary_out_of_range(self):
+        sb = SwapButterfly.from_ks((1, 1))
+        with pytest.raises(ValueError):
+            list(sb.boundary_links(2))
+
+
+class TestPhi:
+    def test_identity_before_first_swap(self):
+        sb = SwapButterfly.from_ks((2, 2, 2))
+        for s in range(0, 3):  # stages 0..n_1 inclusive are pre-swap
+            for x in range(sb.rows):
+                assert sb.phi(s, x) == x
+
+    def test_phi_inverse_roundtrip(self):
+        sb = SwapButterfly.from_ks((3, 2, 2))
+        for s in range(sb.stages):
+            for x in range(sb.rows):
+                assert sb.phi_inverse(s, sb.phi(s, x)) == x
+
+    def test_paper_fig1_mapping(self):
+        """The paper's example: node (1,2) of the 4x4 swap-butterfly is
+        butterfly node (2,2)."""
+        sb = SwapButterfly.from_ks((1, 1))
+        assert sb.phi_inverse(2, 1) == 2
+        assert sb.phi(2, 2) == 1
+
+    def test_row_labels_are_permutations(self):
+        sb = SwapButterfly.from_ks((2, 2))
+        for s in range(sb.stages):
+            assert sorted(sb.row_labels(s)) == list(range(sb.rows))
+
+    def test_butterfly_to_swapbf_bijection(self):
+        sb = SwapButterfly.from_ks((2, 1, 1))
+        m = sb.butterfly_to_swapbf()
+        assert len(m) == sb.num_nodes
+        assert len(set(m.values())) == sb.num_nodes
+
+
+class TestAutomorphism:
+    @pytest.mark.parametrize(
+        "ks",
+        [(1, 1), (2, 1), (2, 2), (3, 3), (1, 1, 1), (2, 2, 2), (3, 2, 1), (2, 2, 2, 2)],
+    )
+    def test_verified_both_ways(self, ks):
+        assert verify_by_graphs(ks)
+        assert verify_by_generators(ks)
+
+    def test_graph_is_butterfly_sized(self):
+        sb = SwapButterfly.from_ks((2, 2))
+        g = sb.graph()
+        b = Butterfly(4)
+        assert g.num_nodes == b.num_nodes
+        assert g.num_edges == b.num_edges
+
+    def test_dispatcher(self):
+        assert verify_automorphism((2, 2), materialize=True)
+        assert verify_automorphism((2, 2), materialize=False)
+
+    def test_broken_mapping_detected(self):
+        """Sanity: the checker is not a rubber stamp — a wrong phi fails."""
+        sb = SwapButterfly.from_ks((2, 2))
+        bfly = Butterfly(4).graph()
+        target = sb.graph()
+        bad = sb.butterfly_to_swapbf()
+        # swap two images with different neighborhoods ((0,0) and (1,0)
+        # share theirs, so those two WOULD still be an isomorphism)
+        bad[(0, 0)], bad[(3, 0)] = bad[(3, 0)], bad[(0, 0)]
+        assert not bfly.is_isomorphic_by(target, bad)
+
+
+@settings(deadline=None, max_examples=25)
+@given(param_vector_strategy(max_l=4, max_k1=3, max_n=8))
+def test_automorphism_property(ks):
+    assert verify_by_generators(ks)

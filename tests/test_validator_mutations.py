@@ -1,0 +1,103 @@
+"""Failure-injection tests: the validator must catch every mutation class.
+
+A validator that silently passes broken layouts would make the whole
+reproduction vacuous, so we take known-good layouts and apply targeted
+corruptions, asserting each is flagged.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout.collinear import collinear_layout
+from repro.layout.geometry import Segment, Wire
+from repro.layout.grid_scheme import build_grid_layout
+from repro.layout.validate import validate_layout
+
+
+def fresh_collinear():
+    cl = collinear_layout(6)
+    return cl.layout, cl.graph
+
+
+def fresh_grid():
+    res = build_grid_layout((1, 1, 1))
+    return res.layout, res.graph
+
+
+FACTORIES = [fresh_collinear, fresh_grid]
+
+
+def mutate_layer_parity(layout, i):
+    """Flip one segment onto the wrong-orientation layer."""
+    w = layout.wires[i % len(layout.wires)]
+    s = w.segments[0]
+    bad_layer = 2 if s.layer % 2 == 1 else 1
+    w.segments[0] = Segment(s.x1, s.y1, s.x2, s.y2, bad_layer)
+
+
+def mutate_detach_terminal(layout, i):
+    """Translate an entire wire so neither endpoint touches its node."""
+    w = layout.wires[i % len(layout.wires)]
+    w.segments = [
+        Segment(s.x1 + 1000, s.y1 + 1000, s.x2 + 1000, s.y2 + 1000, s.layer)
+        for s in w.segments
+    ]
+
+
+def mutate_duplicate_wire(layout, i):
+    """Copy a wire verbatim: overlaps, shared terminals, extra edge."""
+    w = layout.wires[i % len(layout.wires)]
+    layout.wires.append(Wire(net=w.net, segments=list(w.segments)))
+
+
+def mutate_drop_wire(layout, i):
+    del layout.wires[i % len(layout.wires)]
+
+
+def mutate_break_contiguity(layout, i):
+    """Remove a middle segment of a multi-segment wire."""
+    for j in range(len(layout.wires)):
+        w = layout.wires[(i + j) % len(layout.wires)]
+        if len(w.segments) >= 3:
+            del w.segments[1]
+            return
+    pytest.skip("no multi-segment wire")
+
+
+MUTATIONS = [
+    mutate_layer_parity,
+    mutate_detach_terminal,
+    mutate_duplicate_wire,
+    mutate_drop_wire,
+    mutate_break_contiguity,
+]
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=["collinear", "grid"])
+@pytest.mark.parametrize("mutation", MUTATIONS, ids=lambda m: m.__name__)
+def test_mutation_detected(factory, mutation):
+    layout, graph = factory()
+    assert validate_layout(layout, graph).ok
+    mutation(layout, 3)
+    rep = validate_layout(layout, graph)
+    assert not rep.ok, f"{mutation.__name__} went undetected"
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.integers(0, 10_000),
+    st.integers(0, len(MUTATIONS) - 1),
+)
+def test_mutation_detected_property(idx, which):
+    layout, graph = fresh_collinear()
+    MUTATIONS[which](layout, idx)
+    rep = validate_layout(layout, graph)
+    assert not rep.ok
+
+
+def test_two_mutations_counted(capsys=None):
+    layout, graph = fresh_collinear()
+    mutate_drop_wire(layout, 0)
+    mutate_layer_parity(layout, 1)
+    rep = validate_layout(layout, graph)
+    assert rep.num_errors >= 2
