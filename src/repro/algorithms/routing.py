@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..topology.bits import level_swap_array
 from ..topology.swap import SwapNetworkParams
 from ..transform.swap_butterfly import SwapButterfly
 
@@ -41,16 +42,7 @@ def path_rows(n: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
 
 def _sigma_vec(params: SwapNetworkParams, level: int, x: np.ndarray) -> np.ndarray:
     """Vectorised level swap on an int64 array."""
-    if level == 1:
-        return x
-    offs = params.offsets
-    k = params.ks[level - 1]
-    lo = offs[level - 1]
-    mask = (1 << k) - 1
-    low = x & mask
-    high = (x >> lo) & mask
-    cleared = x & ~((mask << lo) | mask)
-    return cleared | (low << lo) | high
+    return level_swap_array(x, params.ks, level)
 
 
 def _phi_vec(sb: SwapButterfly, s: int, x: np.ndarray) -> np.ndarray:
@@ -69,6 +61,7 @@ class RoutingDemand:
 
     num_packets: int
     rows_per_module: int
+    num_modules: int  # true module count R / 2**k1, crossings or not
     crossings_per_module: Dict[int, int]  # off-module traversals touching m
     total_crossings: int
 
@@ -77,12 +70,16 @@ class RoutingDemand:
         return max(self.crossings_per_module.values(), default=0)
 
     def demand_per_module_per_packet(self) -> float:
-        """Average boundary traversals charged to a module, per packet."""
-        if not self.crossings_per_module:
+        """Average boundary traversals charged to a module, per packet.
+
+        Averages over *all* modules of the partition — a module that saw no
+        crossing still counts in the denominator.  (Dividing by only the
+        modules present in ``crossings_per_module`` overstated the demand
+        whenever some module was never touched.)
+        """
+        if self.num_modules == 0 or self.num_packets == 0:
             return 0.0
-        return self.total_crossings * 2 / (
-            len(self.crossings_per_module) * self.num_packets
-        )
+        return self.total_crossings * 2 / (self.num_modules * self.num_packets)
 
 
 def measure_offmodule_traffic(
@@ -116,6 +113,7 @@ def measure_offmodule_traffic(
     return RoutingDemand(
         num_packets=num_packets,
         rows_per_module=1 << k1,
+        num_modules=R >> k1,
         crossings_per_module=per_module,
         total_crossings=total,
     )

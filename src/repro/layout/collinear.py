@@ -53,12 +53,13 @@ def chen_agrawal_track_count(n: int) -> int:
 
     Defined for ``n`` a power of two (the dBCube construction); for other
     ``n`` we round the exponent up, matching the usual embed-in-next-power
-    usage.
+    usage.  For ``n = 2`` the closed form evaluates to 0, but K_2 still
+    needs its single track, so the result is clamped to at least 1.
     """
     if n < 2:
         raise ValueError(f"n must be >= 2, got {n}")
     p = (n - 1).bit_length()  # ceil(log2 n)
-    return 4 * (4 ** (p - 1) - 1) // 3
+    return max(1, 4 * (4 ** (p - 1) - 1) // 3)
 
 
 def naive_track_count(n: int) -> int:

@@ -27,6 +27,8 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+import numpy as np
+
 from ..topology.graph import Graph
 from .geometry import Segment, Wire
 from .model import Layout
@@ -85,17 +87,43 @@ class _TrackIndex:
         Same-wire touching is permitted (a path revisiting a track), but
         strict overlap is flagged even within one wire: it always indicates
         a construction bug.
+
+        All tracks are scanned in one vectorized sweep: the sorted
+        per-track interval lists are flattened, each track's coordinates
+        are shifted into a disjoint numeric band, and a single running
+        maximum over the shifted ``hi`` values finds every interval whose
+        ``lo`` undercuts an earlier ``hi`` on the same track.  The Python
+        fallback only runs to reconstruct the offending pairs, i.e. on
+        (normally zero) violations.
         """
-        bad = []
-        for key, lst in self._tracks.items():
-            max_hi = None
-            max_item = None
-            for item in lst:
-                lo, hi, _w = item
-                if max_hi is not None and lo < max_hi:
-                    bad.append((key, max_item, item))
-                if max_hi is None or hi > max_hi:
-                    max_hi, max_item = hi, item
+        bad: List[Tuple[Tuple[int, bool, int], Tuple, Tuple]] = []
+        multi = [(key, lst) for key, lst in self._tracks.items() if len(lst) > 1]
+        if not multi:
+            return bad
+        arrs = [np.asarray(lst, dtype=np.int64) for _key, lst in multi]
+        flat = np.concatenate(arrs)
+        lens = np.array([len(a) for a in arrs])
+        gid = np.repeat(np.arange(len(arrs)), lens)
+        lo, hi = flat[:, 0], flat[:, 1]
+        band = int(hi.max() - lo.min()) + 1
+        lo_adj = lo + gid * band
+        cummax = np.maximum.accumulate(hi + gid * band)
+        bad_idx = np.flatnonzero(lo_adj[1:] < cummax[:-1]) + 1
+        if not len(bad_idx):
+            return bad
+        starts = np.concatenate([[0], np.cumsum(lens)[:-1]])
+        for i in bad_idx.tolist():
+            g = int(np.searchsorted(starts, i, side="right")) - 1
+            key, lst = multi[g]
+            j = i - int(starts[g])
+            # recover the running-max interval the scalar scan would have
+            # paired this one with
+            max_hi: Optional[int] = None
+            max_item: Optional[Tuple[int, int, int]] = None
+            for item in lst[:j]:
+                if max_hi is None or item[1] > max_hi:
+                    max_hi, max_item = item[1], item
+            bad.append((key, max_item, lst[j]))
         return bad
 
     def nets_covering(

@@ -5,11 +5,13 @@ from .bits import (
     bit,
     bit_reverse,
     flip_bit,
+    flip_bit_array,
     get_bits,
     group_offsets,
     ilog2,
     is_power_of_two,
     level_swap,
+    level_swap_array,
     popcount,
     set_bits,
     swap_bit_groups,
@@ -19,7 +21,7 @@ from .bitonic import BitonicNetwork, bitonic_num_stages, bitonic_schedule, biton
 from .omega import Omega, destination_tag_route, omega_graph, perfect_shuffle
 from .butterfly import Butterfly, butterfly_graph, wrapped_butterfly_graph
 from .complete import complete_graph, complete_multigraph, num_links
-from .graph import Graph
+from .graph import Graph, edge_array
 from .hypercube import generalized_hypercube_graph, hypercube_graph
 from .isn import ISN, ExchangeStep, SwapStep, isn_graph
 from .properties import (
@@ -32,6 +34,7 @@ from .swap import SwapNetwork, SwapNetworkParams, hsn_graph, swap_network_graph
 
 __all__ = [
     "Graph",
+    "edge_array",
     "Benes",
     "benes_graph",
     "benes_boundary_bits",
@@ -66,6 +69,8 @@ __all__ = [
     "swap_bit_groups",
     "group_offsets",
     "level_swap",
+    "level_swap_array",
+    "flip_bit_array",
     "is_power_of_two",
     "ilog2",
     "popcount",

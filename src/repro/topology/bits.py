@@ -11,11 +11,17 @@ notation directly.
 All functions operate on non-negative Python integers interpreted as
 fixed-width bit strings; the width is implicit (callers keep track of the
 total address length ``n``).
+
+The ``*_array`` variants apply the same operations element-wise to numpy
+int64 arrays; they are the primitives behind the vectorized graph
+constructors and the routing simulator.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence
+
+import numpy as np
 
 __all__ = [
     "bit",
@@ -25,6 +31,8 @@ __all__ = [
     "swap_bit_groups",
     "group_offsets",
     "level_swap",
+    "flip_bit_array",
+    "level_swap_array",
     "is_power_of_two",
     "ilog2",
     "popcount",
@@ -115,6 +123,34 @@ def level_swap(x: int, ks: Sequence[int], level: int) -> int:
         return x
     offs = group_offsets(ks)
     return swap_bit_groups(x, offs[level - 1], 0, ks[level - 1])
+
+
+def flip_bit_array(x: np.ndarray, i: int) -> np.ndarray:
+    """Element-wise :func:`flip_bit` on an int64 array."""
+    if i < 0:
+        raise ValueError(f"bit index must be non-negative, got {i}")
+    return x ^ (1 << i)
+
+
+def level_swap_array(x: np.ndarray, ks: Sequence[int], level: int) -> np.ndarray:
+    """Element-wise :func:`level_swap` (the paper's ``sigma_i``) on int64.
+
+    Swapping the ``level``-th bit group with the rightmost ``k_level`` bits
+    needs only shifts and masks, so the whole address vector is transformed
+    in a handful of numpy ops.
+    """
+    if not 1 <= level <= len(ks):
+        raise ValueError(f"level must be in [1, {len(ks)}], got {level}")
+    if level == 1:
+        return x
+    offs = group_offsets(ks)
+    k = ks[level - 1]
+    lo = offs[level - 1]
+    mask = (1 << k) - 1
+    low = x & mask
+    high = (x >> lo) & mask
+    cleared = x & ~((mask << lo) | mask)
+    return cleared | (low << lo) | high
 
 
 def is_power_of_two(x: int) -> bool:

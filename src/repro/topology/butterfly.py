@@ -19,8 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
+import numpy as np
+
 from .bits import flip_bit, ilog2
-from .graph import Graph
+from .graph import Graph, edge_array
 
 __all__ = ["Butterfly", "butterfly_graph", "wrapped_butterfly_graph"]
 
@@ -115,11 +117,22 @@ class Butterfly:
             raise ValueError(f"stage {s} out of range [0, {hi})")
 
     # -- materialisation -------------------------------------------------
+    def edge_array(self) -> np.ndarray:
+        """All edges as one ``(num_edges, 2, 2)`` int64 array of
+        ``((row, stage), (row', stage + 1))`` pairs, built stage by stage
+        with vectorized row arithmetic."""
+        r = np.arange(self.rows, dtype=np.int64)
+        chunks = []
+        for s in range(self.n):
+            chunks.append(edge_array((r, s), (r, s + 1)))
+            chunks.append(edge_array((r, s), (r ^ (1 << s), s + 1)))
+        return np.concatenate(chunks)
+
     def graph(self) -> Graph:
+        # Every node is an edge endpoint (n >= 1), so the bulk insert
+        # introduces the whole node set — the graph stays purely staged.
         g = Graph(name=f"B_{self.n}")
-        g.add_nodes(self.nodes())
-        for u, v in self.edges():
-            g.add_edge(u, v)
+        g.add_edges_from(self.edge_array())
         return g
 
 
@@ -134,18 +147,14 @@ def wrapped_butterfly_graph(n: int) -> Graph:
     butterfly library should provide it."""
     b = Butterfly(n)
     g = Graph(name=f"wrapped-B_{n}")
-
-    def wrap(node: BflyNode) -> BflyNode:
-        r, s = node
-        return (r, s % n)
-
-    for s in range(n):
-        for r in range(b.rows):
-            g.add_node((r, s))
-    for u, v in b.edges():
-        wu, wv = wrap(u), wrap(v)
-        if wu == wv:
-            # n == 1 degenerates: straight link wraps onto itself; skip.
-            continue
-        g.add_edge(wu, wv)
+    if n == 1:
+        # Cross links are the only survivors; rows 0/1 still appear there,
+        # but add the nodes explicitly for clarity.
+        g.add_node((0, 0))
+        g.add_node((1, 0))
+    arr = b.edge_array()
+    arr[:, :, 1] %= n  # wrap stage n onto stage 0
+    # n == 1 degenerates: straight links wrap onto themselves; drop them.
+    keep = (arr[:, 0, 0] != arr[:, 1, 0]) | (arr[:, 0, 1] != arr[:, 1, 1])
+    g.add_edges_from(arr[keep])
     return g

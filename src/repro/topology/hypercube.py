@@ -10,11 +10,11 @@ the butterfly layout reduces to collinear layouts of complete graphs.
 
 from __future__ import annotations
 
-from itertools import product
 from typing import Sequence
 
-from .bits import flip_bit
-from .graph import Graph
+import numpy as np
+
+from .graph import Graph, edge_array
 
 __all__ = ["hypercube_graph", "generalized_hypercube_graph"]
 
@@ -24,12 +24,16 @@ def hypercube_graph(k: int) -> Graph:
     if k < 0:
         raise ValueError(f"hypercube dimension must be >= 0, got {k}")
     g = Graph(name=f"Q_{k}")
-    g.add_nodes(range(1 << k))
-    for u in range(1 << k):
+    if k == 0:
+        g.add_node(0)  # Q_0 is a single node with no edges
+    else:
+        u = np.arange(1 << k, dtype=np.int64)
+        # dimension i pairs u with u ^ 2**i; keep each pair once (u < v)
+        chunks = []
         for i in range(k):
-            v = flip_bit(u, i)
-            if u < v:
-                g.add_edge(u, v)
+            lo = u[(u >> i) & 1 == 0]
+            chunks.append(edge_array(lo, lo | (1 << i)))
+        g.add_edges_from(np.concatenate(chunks))
     return g
 
 
@@ -43,12 +47,21 @@ def generalized_hypercube_graph(radices: Sequence[int]) -> Graph:
     """
     if not radices or any(r < 2 for r in radices):
         raise ValueError(f"all radices must be >= 2, got {list(radices)}")
+    # All radices are >= 2, so every node has a neighbor: the bulk edge
+    # insert below introduces the whole node set.
     g = Graph(name="GHC(" + ",".join(map(str, radices)) + ")")
-    for node in product(*(range(r) for r in radices)):
-        g.add_node(node)
-    for node in product(*(range(r) for r in radices)):
-        for pos, r in enumerate(radices):
-            for alt in range(node[pos] + 1, r):
-                other = node[:pos] + (alt,) + node[pos + 1 :]
-                g.add_edge(node, other)
+    d = len(radices)
+    grid = np.stack(
+        np.meshgrid(*(np.arange(r, dtype=np.int64) for r in radices), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, d)
+    chunks = []
+    for pos, r in enumerate(radices):
+        for lo in range(r - 1):
+            for hi in range(lo + 1, r):
+                src = grid[grid[:, pos] == lo]
+                dst = src.copy()
+                dst[:, pos] = hi
+                chunks.append(np.stack([src, dst], axis=1))
+    g.add_edges_from(np.concatenate(chunks))
     return g

@@ -27,8 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple, Union
 
-from .bits import flip_bit
-from .graph import Graph
+import numpy as np
+
+from .bits import flip_bit, level_swap_array
+from .graph import Graph, edge_array
 from .swap import SwapNetworkParams
 
 __all__ = ["ExchangeStep", "SwapStep", "ISN", "isn_graph"]
@@ -158,13 +160,28 @@ class ISN:
         return out
 
     # -- materialisation ---------------------------------------------------
+    def edge_array(self) -> np.ndarray:
+        """All links as one ``(num_edges, 2, 2)`` int64 array, one
+        vectorized chunk per schedule step."""
+        rows = np.arange(self.rows, dtype=np.int64)
+        chunks = []
+        for j, step in enumerate(self.schedule):
+            if isinstance(step, ExchangeStep):
+                chunks.append(edge_array((rows, j), (rows, j + 1)))
+                chunks.append(
+                    edge_array((rows, j), (rows ^ (1 << step.bit), j + 1))
+                )
+            else:
+                sig = level_swap_array(rows, self.params.ks, step.level)
+                chunks.append(edge_array((rows, j), (sig, j + 1)))
+        return np.concatenate(chunks)
+
     def graph(self) -> Graph:
+        # Every (row, stage) node touches some step link (k_1 >= 1 gives at
+        # least one step, and each step covers all rows at both stages), so
+        # the bulk insert alone yields the full node set.
         g = Graph(name=f"ISN{self.params.ks}")
-        for y in range(self.stages):
-            for x in range(self.rows):
-                g.add_node((x, y))
-        for u, v, _kind in self.links():
-            g.add_edge(u, v)
+        g.add_edges_from(self.edge_array())
         return g
 
     def node_link_kinds(self) -> dict:

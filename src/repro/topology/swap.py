@@ -19,8 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
-from .bits import flip_bit, group_offsets, level_swap
-from .graph import Graph
+import numpy as np
+
+from .bits import flip_bit, group_offsets, level_swap, level_swap_array
+from .graph import Graph, edge_array
 
 __all__ = ["SwapNetworkParams", "SwapNetwork", "swap_network_graph", "hsn_graph"]
 
@@ -123,13 +125,19 @@ class SwapNetwork:
                 yield (u, v)
 
     def graph(self) -> Graph:
+        # k_1 >= 1, so every node has a nucleus link: the bulk insert alone
+        # yields the full node set and the graph stays purely staged.
         g = Graph(name=f"SN{self.params.ks}")
-        g.add_nodes(range(self.num_nodes))
-        for u, v in self.nucleus_links():
-            g.add_edge(u, v)
+        u = np.arange(self.num_nodes, dtype=np.int64)
+        chunks = []
+        for i in range(self.params.ks[0]):
+            lo = u[(u >> i) & 1 == 0]
+            chunks.append(edge_array(lo, lo | (1 << i)))
         for level in range(2, self.params.l + 1):
-            for u, v in self.inter_cluster_links(level):
-                g.add_edge(u, v)
+            v = level_swap_array(u, self.params.ks, level)
+            keep = u < v  # fixed points yield no link; each pair once
+            chunks.append(edge_array(u[keep], v[keep]))
+        g.add_edges_from(np.concatenate(chunks))
         return g
 
 

@@ -28,8 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence, Tuple, Union
 
-from ..topology.bits import flip_bit
-from ..topology.graph import Graph
+import numpy as np
+
+from ..topology.bits import flip_bit, level_swap_array
+from ..topology.graph import Graph, edge_array
 from ..topology.isn import ISN, ExchangeStep, SwapStep
 from ..topology.swap import SwapNetworkParams
 
@@ -189,11 +191,24 @@ class SwapButterfly:
         return [self.phi_inverse(s, u) for u in range(self.rows)]
 
     # -- materialisation ---------------------------------------------------
+    def edge_array(self) -> np.ndarray:
+        """All links as one ``(num_edges, 2, 2)`` int64 array, one
+        vectorized chunk per stage boundary."""
+        rows = np.arange(self.rows, dtype=np.int64)
+        chunks = []
+        for s, b in enumerate(self.boundaries):
+            if isinstance(b, ExchangeBoundary):
+                chunks.append(edge_array((rows, s), (rows, s + 1)))
+                chunks.append(edge_array((rows, s), (rows ^ (1 << b.bit), s + 1)))
+            else:
+                sig = level_swap_array(rows, self.params.ks, b.level)
+                chunks.append(edge_array((rows, s), (sig, s + 1)))
+                chunks.append(edge_array((rows, s), (sig ^ 1, s + 1)))
+        return np.concatenate(chunks)
+
     def graph(self) -> Graph:
+        # Every (row, stage) node is an endpoint of some boundary link
+        # (n >= 1), so the bulk insert alone yields the full node set.
         g = Graph(name=f"SwapBfly{self.params.ks}")
-        for s in range(self.stages):
-            for u in range(self.rows):
-                g.add_node((u, s))
-        for u, v, _k in self.links():
-            g.add_edge(u, v)
+        g.add_edges_from(self.edge_array())
         return g

@@ -138,3 +138,35 @@ class TestRouting:
         d1 = measure_offmodule_traffic((2, 2), 1000, rng=rng1)
         d2 = measure_offmodule_traffic((2, 2), 1000, rng=rng2)
         assert d1.crossings_per_module == d2.crossings_per_module
+
+    def test_demand_averages_over_all_modules(self):
+        # regression: the per-module demand must divide by the true module
+        # count R / 2**k1, not by however many modules happened to see a
+        # crossing in the sample
+        from repro.algorithms.routing import RoutingDemand
+
+        d = RoutingDemand(
+            num_packets=10,
+            rows_per_module=2,
+            num_modules=4,
+            crossings_per_module={0: 3, 1: 3},  # modules 2, 3 untouched
+            total_crossings=3,
+        )
+        assert d.demand_per_module_per_packet() == pytest.approx(
+            3 * 2 / (4 * 10)
+        )
+        empty = RoutingDemand(
+            num_packets=0,
+            rows_per_module=2,
+            num_modules=0,
+            crossings_per_module={},
+            total_crossings=0,
+        )
+        assert empty.demand_per_module_per_packet() == 0.0
+
+    def test_measured_demand_carries_true_module_count(self):
+        d = measure_offmodule_traffic((2, 1), num_packets=500)
+        assert d.num_modules == (1 << 3) >> 2  # R / 2**k1 = 2
+        assert d.demand_per_module_per_packet() == pytest.approx(
+            d.total_crossings * 2 / (d.num_modules * d.num_packets)
+        )

@@ -50,6 +50,12 @@ class TestTrackCounts:
         with pytest.raises(ValueError):
             chen_agrawal_track_count(1)
 
+    def test_chen_agrawal_k2_needs_one_track(self):
+        # regression: the closed form gives 0 at n=2, but K_2 has one link
+        # and therefore needs one track
+        assert chen_agrawal_track_count(2) == 1
+        assert chen_agrawal_track_count(2) >= optimal_track_count(2)
+
 
 class TestAssignment:
     def test_covers_all_links(self):

@@ -1,9 +1,10 @@
 """Tests for the multigraph substrate."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.topology.graph import Graph
+from repro.topology.graph import Graph, edge_array
 
 
 def triangle(mult=1):
@@ -61,6 +62,140 @@ class TestConstruction:
         assert g.num_edges == 0
         assert g.degree(3) == 0
 
+    def test_remove_node_multiplicity_accounting(self):
+        # removing a node must subtract the full multiplicity of every
+        # incident edge, not just one per neighbor
+        g = Graph()
+        g.add_edge(0, 1, 3)
+        g.add_edge(1, 2, 5)
+        g.add_edge(0, 2, 1)
+        assert g.num_edges == 9
+        g.remove_node(1)
+        assert g.num_edges == 1
+        assert g.num_nodes == 2
+        assert g.multiplicity(0, 2) == 1
+        g.remove_node(0)
+        assert g.num_edges == 0
+        assert g.degree(2) == 0
+
+    def test_remove_node_after_bulk_insert(self):
+        g = Graph()
+        g.add_edges_from(np.array([[0, 1], [1, 2], [0, 2]]), count=2)
+        g.remove_node(1)
+        assert g.num_nodes == 2
+        assert g.num_edges == 2
+        assert g.multiplicity(0, 2) == 2
+
+
+class TestBulkEdges:
+    def test_bulk_matches_per_edge_scalar_nodes(self):
+        pairs = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]
+        h = Graph()
+        for u, v in pairs:
+            h.add_edge(u, v)
+        g = Graph()
+        g.add_edges_from(np.array(pairs, dtype=np.int64))
+        assert g.same_as(h)
+        assert set(g.nodes()) == set(h.nodes())
+        assert g.num_edges == h.num_edges
+
+    def test_bulk_matches_per_edge_tuple_nodes(self):
+        pairs = [((r, 0), (r, 1)) for r in range(4)] + [
+            ((r, 0), (r ^ 1, 1)) for r in range(4)
+        ]
+        h = Graph()
+        for u, v in pairs:
+            h.add_edge(u, v)
+        arr = np.array(pairs, dtype=np.int64)  # (E, 2, 2)
+        g = Graph()
+        g.add_edges_from(arr)
+        assert g.same_as(h)
+        assert h.same_as(g)
+        assert g.neighbors((0, 0)) == h.neighbors((0, 0))
+
+    def test_duplicate_rows_accumulate(self):
+        g = Graph()
+        g.add_edges_from(np.array([[0, 1], [0, 1], [1, 2]]), count=2)
+        assert g.multiplicity(0, 1) == 4
+        assert g.multiplicity(1, 2) == 2
+        assert g.num_edges == 6
+
+    def test_iterable_path(self):
+        g = Graph()
+        g.add_edges_from([(0, 1), (1, 2)], count=3)
+        assert g.num_edges == 6
+        with pytest.raises(TypeError):
+            g.add_edges_from([(0, 1)], count=np.array([1]))
+
+    def test_bulk_then_per_edge_merge(self):
+        g = Graph()
+        g.add_edges_from(np.array([[0, 1], [1, 2]]))
+        g.add_edge(0, 1)  # merges with the staged chunk
+        assert g.multiplicity(0, 1) == 2
+        assert g.num_edges == 3
+
+    def test_bulk_validation_errors(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edges_from(np.array([[0, 0]]))  # self-loop
+        with pytest.raises(ValueError):
+            g.add_edges_from(np.array([[0, 1]]), count=0)
+        with pytest.raises(ValueError):
+            g.add_edges_from(np.array([0, 1]))  # wrong shape
+        with pytest.raises(ValueError):
+            g.add_edges_from(np.array([[0.5, 1.5]]))  # non-integer
+
+    def test_to_edge_array_round_trip(self):
+        g = Graph()
+        g.add_edge(0, 1, 2)
+        g.add_edge(3, 1)
+        edges, counts = g.to_edge_array()
+        assert edges.tolist() == [[0, 1], [1, 3]]
+        assert counts.tolist() == [2, 1]
+        h = Graph()
+        h.add_edges_from(edges, counts)
+        assert h.same_as(g)
+
+    def test_to_edge_array_staged_matches_materialized(self):
+        arr = edge_array((np.arange(4), 0), (np.arange(4) ^ 1, 1))
+        g1 = Graph()
+        g1.add_edges_from(arr)
+        e1, c1 = g1.to_edge_array()  # staged-native export
+        g2 = Graph()
+        g2.add_edges_from(arr)
+        g2.nodes()  # force materialisation
+        e2, c2 = g2.to_edge_array()  # dict-based export
+        assert e1.tolist() == e2.tolist()
+        assert c1.tolist() == c2.tolist()
+
+    def test_edge_array_helper(self):
+        out = edge_array(np.array([0, 1]), np.array([2, 3]))
+        assert out.shape == (2, 2)
+        out = edge_array((np.array([0, 1]), 5), (np.array([2, 3]), 6))
+        assert out.shape == (2, 2, 2)
+        assert out[0].tolist() == [[0, 5], [2, 6]]
+        with pytest.raises(ValueError):
+            edge_array((np.array([0]),), np.array([1]))
+        with pytest.raises(ValueError):
+            edge_array((np.array([0]),), (np.array([1]), 2))
+
+    def test_quotient_on_staged_graph(self):
+        r = np.arange(8)
+        arr = np.concatenate(
+            [edge_array((r, 0), (r, 1)), edge_array((r, 0), (r ^ 3, 1))]
+        )
+        g = Graph()
+        g.add_edges_from(arr)
+        q_staged = g.quotient(lambda node: node[0] // 2)
+        h = Graph()
+        h.add_edges_from(arr)
+        h.nodes()  # materialise first
+        q_dict = h.quotient(lambda node: node[0] // 2)
+        assert q_staged.same_as(q_dict)
+        assert q_staged.internal_edges == q_dict.internal_edges
+        assert q_staged.internal_edges == 8  # the straight links
+        assert q_staged.num_edges == 8
+
 
 class TestQueries:
     def test_neighbors_sorted(self):
@@ -112,6 +247,18 @@ class TestStructure:
         g = triangle()
         q = g.quotient(lambda u: 0 if u < 2 else 1)
         assert q.num_edges == 2  # edges 0-2 and 1-2; 0-1 internal
+
+    def test_internal_edges_is_a_real_field(self):
+        # every Graph carries the attribute, default 0 ...
+        assert Graph().internal_edges == 0
+        assert triangle().internal_edges == 0
+        # ... and quotient records dropped edges even without keep_internal
+        q = triangle(2).quotient(lambda u: 0 if u < 2 else 1)
+        assert q.internal_edges == 2
+        # keep_internal is accepted for backward compatibility, no-op
+        q2 = triangle(2).quotient(lambda u: 0 if u < 2 else 1, keep_internal=True)
+        assert q2.internal_edges == 2
+        assert q2.same_as(q)
 
     def test_relabel_preserves_structure(self):
         g = triangle(3)

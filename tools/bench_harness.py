@@ -1,0 +1,280 @@
+#!/usr/bin/env python
+"""Reproducible benchmark harness for the graph core and layout engine.
+
+Times the vectorized bulk construction path against the per-edge
+reference path for the paper's networks (swap-butterflies, butterflies,
+swap networks) at dimensions up to ``--max-n``, times layout build +
+validation for the grid scheme, and runs a curated subset of the
+``benchmarks/bench_*.py`` pytest-benchmark suite.  Results are written to
+``BENCH_<date>.json`` in the repo root (or ``--out``).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_harness.py            # full run
+    PYTHONPATH=src python tools/bench_harness.py --smoke    # CI-sized run
+    PYTHONPATH=src python tools/bench_harness.py --max-n 12 --out /tmp/b.json
+
+Methodology: each timed section runs ``gc.collect()`` first and reports
+the best of ``--repeats`` runs (cold-start allocator noise and GC churn
+over millions of live objects otherwise dominate; see the per-section
+``repeats`` field in the output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import gc
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.layout.grid_scheme import build_grid_layout  # noqa: E402
+from repro.layout.validate import validate_layout  # noqa: E402
+from repro.topology.butterfly import Butterfly  # noqa: E402
+from repro.topology.graph import Graph  # noqa: E402
+from repro.topology.swap import SwapNetwork, SwapNetworkParams  # noqa: E402
+from repro.transform.swap_butterfly import SwapButterfly  # noqa: E402
+
+#: The curated pytest-benchmark subset: one figure, one theorem, one
+#: layout-engine and one scalability bench — enough to catch regressions
+#: in every layer without running the whole (slow) suite.
+CURATED_BENCHES = [
+    "bench_fig1_isn_transform.py",
+    "bench_fig2_swap_butterfly.py",
+    "bench_fig4_collinear_k9.py",
+    "bench_sec3_thompson.py",
+    "bench_node_scalability.py",
+]
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- per-edge reference constructors (the pre-vectorization code path) ----
+
+
+def _swap_butterfly_per_edge(sb: SwapButterfly) -> Graph:
+    g = Graph()
+    for s in range(sb.stages):
+        for u in range(sb.rows):
+            g.add_node((u, s))
+    for u, v, _kind in sb.links():
+        g.add_edge(u, v)
+    return g
+
+
+def _butterfly_per_edge(b: Butterfly) -> Graph:
+    g = Graph()
+    for node in b.nodes():
+        g.add_node(node)
+    for u, v in b.edges():
+        g.add_edge(u, v)
+    return g
+
+
+def _swap_network_per_edge(sn: SwapNetwork) -> Graph:
+    g = Graph()
+    g.add_nodes(range(sn.num_nodes))
+    for u, v in sn.nucleus_links():
+        g.add_edge(u, v)
+    for level in range(2, sn.params.l + 1):
+        for u, v in sn.inter_cluster_links(level):
+            g.add_edge(u, v)
+    return g
+
+
+def bench_construction(
+    ns: Sequence[int], repeats: int, per_edge_max_n: int
+) -> List[Dict]:
+    """Bulk vs per-edge construction across network families."""
+    out: List[Dict] = []
+    for n in ns:
+        ks = SwapNetworkParams.for_dimension(n, 3).ks
+        cases = [
+            ("swap-butterfly", SwapButterfly.from_ks(ks),
+             lambda o: o.graph(), _swap_butterfly_per_edge),
+            ("butterfly", Butterfly(n),
+             lambda o: o.graph(), _butterfly_per_edge),
+            ("swap-network", SwapNetwork(SwapNetworkParams(ks)),
+             lambda o: o.graph(), _swap_network_per_edge),
+        ]
+        for name, obj, bulk, per_edge in cases:
+            bulk(obj)  # warm-up
+            bulk_s = _best_of(lambda: bulk(obj), repeats)
+            entry: Dict = {
+                "network": name,
+                "n": n,
+                "ks": list(ks),
+                "num_edges": bulk(obj).num_edges,
+                "bulk_s": bulk_s,
+                "repeats": repeats,
+            }
+            if n <= per_edge_max_n:
+                per_edge_s = _best_of(lambda: per_edge(obj), repeats)
+                entry["per_edge_s"] = per_edge_s
+                entry["speedup"] = per_edge_s / bulk_s if bulk_s else None
+            out.append(entry)
+            print(
+                f"  {name:15s} n={n:2d}: bulk {bulk_s * 1e3:9.2f} ms"
+                + (
+                    f"  per-edge {entry['per_edge_s'] * 1e3:9.2f} ms"
+                    f"  speedup {entry['speedup']:6.1f}x"
+                    if "per_edge_s" in entry
+                    else "  (per-edge skipped)"
+                )
+            )
+    return out
+
+
+def bench_validation(ks_list: Sequence[Sequence[int]], repeats: int) -> List[Dict]:
+    """Grid-scheme layout build + full validation."""
+    out: List[Dict] = []
+    for ks in ks_list:
+        gc.collect()
+        t0 = time.perf_counter()
+        res = build_grid_layout(tuple(ks))
+        build_s = time.perf_counter() - t0
+
+        def run() -> None:
+            validate_layout(res.layout, res.graph).raise_if_failed()
+
+        run()  # warm-up + correctness
+        validate_s = _best_of(run, repeats)
+        out.append(
+            {
+                "ks": list(ks),
+                "n": sum(ks),
+                "num_wires": len(res.layout.wires),
+                "build_s": build_s,
+                "validate_s": validate_s,
+                "repeats": repeats,
+            }
+        )
+        print(
+            f"  grid layout ks={list(ks)}: build {build_s:7.2f} s  "
+            f"validate {validate_s:7.2f} s"
+        )
+    return out
+
+
+def run_curated_benches(benches: Sequence[str]) -> Optional[List[Dict]]:
+    """Run the curated pytest-benchmark subset; fold in its stats."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = os.path.join(tmp, "pytest_bench.json")
+        cmd = [
+            sys.executable, "-m", "pytest",
+            *[os.path.join("benchmarks", b) for b in benches],
+            "--benchmark-only", "-q", f"--benchmark-json={json_path}",
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env,
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(proc.stdout[-2000:])
+            print(proc.stderr[-2000:], file=sys.stderr)
+            raise SystemExit(f"curated benchmark run failed ({proc.returncode})")
+        with open(json_path) as fh:
+            data = json.load(fh)
+    out = []
+    for b in data.get("benchmarks", []):
+        out.append(
+            {
+                "name": b["name"],
+                "mean_s": b["stats"]["mean"],
+                "stddev_s": b["stats"]["stddev"],
+                "rounds": b["stats"]["rounds"],
+            }
+        )
+        print(f"  {b['name']:45s} mean {b['stats']['mean'] * 1e3:9.2f} ms")
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized run: small dimensions, no curated suite")
+    ap.add_argument("--max-n", type=int, default=16,
+                    help="largest butterfly dimension to construct (default 16)")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timed repetitions per measurement; best is reported")
+    ap.add_argument("--out", type=str, default=None,
+                    help="output JSON path (default BENCH_<date>.json in repo root)")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        ns = [n for n in (6, 8, 10) if n <= args.max_n]
+        val_ks = [(2, 2, 2)]
+        per_edge_max_n = 10
+        repeats = 1
+    else:
+        ns = [n for n in (8, 10, 12, 14, 16) if n <= args.max_n]
+        val_ks = [(2, 2, 2), (3, 3, 3), (4, 4, 4)]
+        per_edge_max_n = min(args.max_n, 16)
+        repeats = args.repeats
+
+    date = _dt.date.today().isoformat()
+    out_path = args.out or os.path.join(REPO_ROOT, f"BENCH_{date}.json")
+
+    print(f"construction (bulk vs per-edge, best of {repeats}):")
+    construction = bench_construction(ns, repeats, per_edge_max_n)
+    print("layout build + validation:")
+    validation = bench_validation(val_ks, repeats)
+    curated = None
+    if not args.smoke:
+        print("curated benchmark subset:")
+        curated = run_curated_benches(CURATED_BENCHES)
+
+    report = {
+        "generated": date,
+        "smoke": args.smoke,
+        "max_n": args.max_n,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "construction": construction,
+        "validation": validation,
+        "curated_benchmarks": curated,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+
+    # sanity gate: the vectorized path must actually be faster
+    worst = min(
+        (e["speedup"] for e in construction
+         if e["network"] == "swap-butterfly" and e["n"] >= 12
+         and e.get("speedup")),
+        default=None,
+    )
+    if worst is not None and worst < 3.0:
+        print(f"WARNING: swap-butterfly speedup {worst:.1f}x below 3x target",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
