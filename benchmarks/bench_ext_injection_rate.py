@@ -13,6 +13,7 @@ import pytest
 from repro.algorithms.queued_routing import (
     saturation_per_node_rate,
     simulate_butterfly_queued,
+    sweep_rates,
 )
 from repro.analysis.comparison import format_table
 
@@ -23,9 +24,9 @@ def test_ext_injection_rate(benchmark):
     r = benchmark(simulate_butterfly_queued, 6, 0.9, 1200)
     assert r.accepted_fraction > 0.97
 
+    rates = (0.3, 0.6, 0.8, 0.9, 0.95)
     load_rows = []
-    for rate in (0.3, 0.6, 0.8, 0.9, 0.95):
-        res = simulate_butterfly_queued(6, rate, cycles=1500)
+    for rate, res in zip(rates, sweep_rates(6, rates, cycles=1500)):
         load_rows.append(
             {
                 "per-input rate": rate,

@@ -3,7 +3,14 @@
 from .ascend import AscendTrace, run_on_butterfly, run_on_isn
 from .benes_routing import BenesSettings, apply_settings, num_switch_stages, route_permutation
 from .fft import dit_combine, fft_via_butterfly, fft_via_isn
-from .queued_routing import SimResult, saturation_per_node_rate, simulate_butterfly_queued
+from .queued_routing import (
+    SimResult,
+    StatsTrace,
+    saturation_per_node_rate,
+    simulate_butterfly_queued,
+    simulate_butterfly_queued_legacy,
+    sweep_rates,
+)
 from .routing import RoutingDemand, measure_offmodule_traffic, path_rows
 
 __all__ = [
@@ -21,6 +28,9 @@ __all__ = [
     "measure_offmodule_traffic",
     "path_rows",
     "SimResult",
+    "StatsTrace",
     "simulate_butterfly_queued",
+    "simulate_butterfly_queued_legacy",
+    "sweep_rates",
     "saturation_per_node_rate",
 ]

@@ -1,4 +1,4 @@
-"""Dynamic (queued) routing on butterflies: the injection-rate wall.
+"""Dynamic (queued) routing on butterflies: the injection-rate wall, as a batched NumPy engine.
 
 Section 2.3's lower bound rests on "the maximum injection rate is
 Theta(1/log R) since the average distance is O(log R) and the traffic is
@@ -12,41 +12,159 @@ FIFO queues, showing
   injection-rate ceiling; and
 * queueing delay exploding as the offered load approaches the wall.
 
-The simulator is deliberately simple (one FIFO per output link, one
-packet per link per cycle, infinite buffers) — it is the model under
-which the paper's counting argument is exact.
+The model (under which the paper's counting argument is exact):
+
+* one FIFO per (node, output link), infinite buffers;
+* each link forwards at most one packet per cycle; a packet advances at
+  most one stage per cycle (stages are serviced back-to-front);
+* Bernoulli(``rate_per_input``) arrivals per input per cycle with
+  uniform random destinations, routed by destination bits;
+* after the measured window a bounded *drain* phase (no new injections)
+  lets packets already in flight complete, so short runs do not
+  under-report acceptance.
+
+Two interchangeable implementations are provided.
+:func:`simulate_butterfly_queued` is the production engine: every FIFO
+is a ring-buffer row of one flat NumPy array, each cycle pops every
+nonempty queue at once, and a two-pass collision-free scatter moves the
+popped packets to their next-stage queues — there is no Python-level
+loop over nodes, and :func:`sweep_rates` batches many independent
+(rate, seed) runs through the *same* arbitration loop.
+:func:`simulate_butterfly_queued_legacy` is the original pure-Python
+triple loop, kept as the reference for differential tests: with the
+same seed both produce *identical* offered / delivered / drained counts
+and latency totals (the legacy enqueue order — cycle ascending, then
+source row ascending — is exactly the scatter-pass order, because the
+two packets that can collide on one queue always differ in bit
+``stage`` of the source row).
+
+Metric definitions (see :class:`SimResult`):
+
+* ``throughput_per_input`` — post-warmup deliveries per input per
+  *measured* cycle, i.e. ``delivered / ((cycles - warmup) * R)``;
+* ``accepted_fraction`` — ``(delivered + drained) / offered``: the
+  fraction of offered packets the network delivered once in-flight
+  packets were given the bounded drain to land;
+* ``max_queue`` — the exact peak backlog of any single FIFO (tracked on
+  every enqueue, not sampled).
 """
 
 from __future__ import annotations
 
+import csv
+import json
+import multiprocessing
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Tuple
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SimResult", "simulate_butterfly_queued", "saturation_per_node_rate"]
+__all__ = [
+    "SimResult",
+    "StatsTrace",
+    "simulate_butterfly_queued",
+    "simulate_butterfly_queued_legacy",
+    "sweep_rates",
+    "saturation_per_node_rate",
+]
+
+#: Default drain budget, in multiples of the hop count ``n + 1``: long
+#: enough to land the pipeline tail at sub-saturation loads, far too
+#: short to erase the growing backlog that signals saturation.
+_DRAIN_FACTOR = 4
+
+
+def _default_drain(n: int) -> int:
+    return _DRAIN_FACTOR * (n + 1)
+
+
+@dataclass
+class StatsTrace:
+    """Per-cycle observability record of one simulation run.
+
+    One row per simulated cycle (measured window *and* drain phase;
+    rows at index ``>= measured_cycles`` are drain cycles).
+    ``delivered`` counts every packet leaving stage ``n`` that cycle,
+    including pre-warmup ones, so ``injected.sum() == delivered.sum() +
+    in_flight[-1]`` holds exactly.  ``depth_hist[d]`` is the number of
+    (cycle, FIFO) samples with backlog ``d`` — queue-depth occupancy
+    aggregated over the whole run.
+    """
+
+    cycle: np.ndarray  # cycle index
+    injected: np.ndarray  # packets injected this cycle
+    delivered: np.ndarray  # packets delivered this cycle (all phases)
+    in_flight: np.ndarray  # packets in the network after the cycle
+    max_depth: np.ndarray  # deepest single FIFO after the cycle
+    depth_hist: np.ndarray  # aggregate backlog histogram over (cycle, FIFO)
+    measured_cycles: int  # rows at index >= this are drain cycles
+
+    _COLUMNS = ("cycle", "injected", "delivered", "in_flight", "max_depth")
+
+    def rows(self) -> Iterator[Dict[str, int]]:
+        """Per-cycle rows as dicts (CSV column order)."""
+        for vals in zip(*(getattr(self, c) for c in self._COLUMNS)):
+            yield dict(zip(self._COLUMNS, (int(v) for v in vals)))
+
+    def to_csv(self, path: str) -> str:
+        """Write the per-cycle table to ``path``; returns ``path``."""
+        with open(path, "w", newline="") as fh:
+            w = csv.DictWriter(fh, fieldnames=self._COLUMNS)
+            w.writeheader()
+            w.writerows(self.rows())
+        return path
+
+    def to_json(self, path: str) -> str:
+        """Write per-cycle arrays plus the depth histogram to ``path``."""
+        payload = {c: [int(v) for v in getattr(self, c)] for c in self._COLUMNS}
+        payload["depth_hist"] = [int(v) for v in self.depth_hist]
+        payload["measured_cycles"] = self.measured_cycles
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        return path
 
 
 @dataclass(frozen=True)
 class SimResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    ``delivered`` counts post-warmup packets landing inside the measured
+    window; ``drained`` counts post-warmup packets landing during the
+    bounded drain phase (no injections) that follows it.  ``avg_latency``
+    averages over both.  ``max_queue`` is the exact peak backlog of any
+    single FIFO, tracked on every enqueue.
+    """
 
     n: int
     rate_per_input: float
     cycles: int
-    offered: int  # packets injected
-    delivered: int  # packets that reached stage n
-    avg_latency: float  # cycles from injection to delivery (delivered only)
-    max_queue: int  # largest backlog observed
+    offered: int  # packets injected after warmup
+    delivered: int  # post-warmup packets delivered within the window
+    avg_latency: float  # cycles from injection to delivery (delivered + drained)
+    max_queue: int  # exact largest single-FIFO backlog
+    warmup: int = 0
+    drained: int = 0  # post-warmup packets delivered during the drain
+    drain_cycles: int = 0  # drain cycles actually run (stops when empty)
+    in_flight: int = 0  # packets still queued when the run stopped
+    trace: Optional[StatsTrace] = field(default=None, repr=False, compare=False)
 
     @property
     def rows(self) -> int:
         return 1 << self.n
 
     @property
+    def measured_cycles(self) -> int:
+        """Cycles in the measured (post-warmup) window."""
+        return max(self.cycles - self.warmup, 1)
+
+    @property
     def throughput_per_input(self) -> float:
-        return self.delivered / (self.cycles * self.rows)
+        """Post-warmup deliveries per input per measured cycle:
+        ``delivered / ((cycles - warmup) * R)`` — dividing by all
+        ``cycles`` would bias the figure low by ``warmup / cycles``."""
+        return self.delivered / (self.measured_cycles * self.rows)
 
     @property
     def rate_per_node(self) -> float:
@@ -55,8 +173,350 @@ class SimResult:
         return self.rate_per_input / (self.n + 1)
 
     @property
+    def delivered_total(self) -> int:
+        """Post-warmup deliveries including the drain phase."""
+        return self.delivered + self.drained
+
+    @property
     def accepted_fraction(self) -> float:
-        return self.delivered / max(self.offered, 1)
+        """``(delivered + drained) / offered``: in-flight packets given
+        the bounded drain to land are not misread as losses."""
+        return self.delivered_total / max(self.offered, 1)
+
+
+def _validate(n: int, rate_per_input: float, cycles: int) -> None:
+    if not 0 < rate_per_input <= 1:
+        raise ValueError(f"rate must be in (0, 1], got {rate_per_input}")
+    if n < 1 or cycles < 1:
+        raise ValueError("need n >= 1 and cycles >= 1")
+
+
+def _run_batch(
+    n: int,
+    jobs: Sequence[Tuple[float, int]],
+    cycles: int,
+    warmup: int,
+    drain: Optional[int],
+    trace: bool = False,
+) -> List[SimResult]:
+    """Run ``len(jobs)`` independent ``(rate, seed)`` simulations through
+    one shared per-link FIFO arbitration loop.
+
+    Every FIFO of every job gets a global queue id ``stage | classbit |
+    job | row-rest | out`` (``classbit`` = bit ``stage`` of the queue's
+    row, ``row-rest`` = the remaining row bits) and lives as a
+    ring-buffer row of one flat array with monotone head/tail counters.
+    A packet is one packed integer ``(inject_cycle << n) | (source_row ^
+    dest)``: bits of ``row ^ dest`` above the current stage are
+    invariant along the route, so the routing bit at stage ``s`` is just
+    bit ``s`` of the stored value.  Each cycle pops every nonempty
+    queue's head at once — with stage in the top id bits the sorted
+    active-queue list splits into movers and final-stage deliveries with
+    a single ``searchsorted`` — and scatters the movers to their target
+    queues in two passes split on ``classbit``: the two packets that can
+    collide on one target queue always differ in that bit of the source
+    row, and the bit-0 source is the lower row, so the two passes
+    reproduce the reference FIFO arrival order (cycle, then source row)
+    exactly, with no per-cycle sort.  The cycle's injections ride in the
+    first pass (stage-0 targets are disjoint from mover targets).  Jobs
+    never share queues, so batched results are bit-identical to running
+    each job alone.  ``trace`` is honoured for single-job batches only.
+    """
+    for rate, _seed in jobs:
+        _validate(n, rate, cycles)
+    if drain is None:
+        drain = _default_drain(n)
+    R = 1 << n
+    B = len(jobs)
+    total_cycles = cycles + drain
+    jb = max((B - 1).bit_length(), 0)
+    jmask = (1 << jb) - 1
+    sshift = jb + n + 1  # stage | classbit | job | row-rest | out
+    num_q = n << sshift
+    final_floor = (n - 1) << sshift
+    # one packed int per packet: (inject_cycle << n) | (source_row ^ dest).
+    # row ^ dest above bit s is invariant along the route (bits below s are
+    # already corrected), so the routing decision at stage s+1 is just bit
+    # s+1 of the stored value — no current-row lookup needed.
+    pdtype = np.int32 if (total_cycles << n) < 2**31 else np.int64
+
+    # -- per-queue lookup tables (qid -> movement precomputation) --------
+    # queue id layout: stage s on top, then bit s of the queue's row (the
+    # scatter-pass class, making each pass a run of sorted id ranges),
+    # then job, then the remaining row bits, then the output link.
+    ids = np.arange(num_q, dtype=np.int64)
+    s_t = ids >> sshift
+    sb_t = (ids >> (sshift - 1)) & 1
+    j_t = (ids >> n) & jmask
+    rr_t = (ids >> 1) & ((R >> 1) - 1)
+    o_t = ids & 1
+    row_t = (rr_t & ((1 << s_t) - 1)) | (sb_t << s_t) | ((rr_t >> s_t) << (s_t + 1))
+    nrow_t = row_t ^ (o_t << s_t)
+    s2 = s_t + 1
+    nsb_t = (nrow_t >> s2) & 1
+    nrest_t = (nrow_t & ((1 << s2) - 1)) | ((nrow_t >> (s2 + 1)) << s2)
+    q_nbase = (s2 << sshift) | (nsb_t << (sshift - 1)) | (j_t << n) | (nrest_t << 1)
+    # movers of stage s split into scatter passes at these sorted-id cuts;
+    # the final entry is the first final-stage id, so one searchsorted
+    # over ``act`` yields the class cuts *and* the delivery cut
+    half = 1 << (sshift - 1)
+    class_bounds = np.array(
+        [(s << sshift) + k * half for s in range(n - 1) for k in (1, 2)]
+        + [final_floor],
+        dtype=np.int64,
+    )
+    # routing-bit position per queue (bit s+1 of the packed value); a
+    # single gathered variable-shift beats the per-stage scalar-slice
+    # loop once there are more than a few stages
+    q_nshift = s2.astype(np.int32) if n > 4 else None
+
+    # -- precompute every injection of every job, grouped by cycle -------
+    offered = np.zeros(B, np.int64)
+    inj_percycle = np.zeros((cycles, B), np.int64)
+    parts_t, parts_val, parts_qid = [], [], []
+    for j, (rate, seed) in enumerate(jobs):
+        rng = np.random.default_rng(seed)
+        inj = rng.random((cycles, R)) < rate
+        dests = rng.integers(0, R, size=(cycles, R))
+        t_idx, r_idx = np.nonzero(inj)
+        t_idx = t_idx.astype(np.int64)
+        r_idx = r_idx.astype(np.int64)
+        d = dests[t_idx, r_idx].astype(np.int64)
+        parts_t.append(t_idx)
+        parts_val.append((t_idx << n) | (r_idx ^ d))
+        parts_qid.append(
+            ((r_idx & 1) << (sshift - 1))  # stage 0: class bit = row bit 0
+            | (np.int64(j) << n)
+            | ((r_idx >> 1) << 1)
+            | ((r_idx ^ d) & 1)
+        )
+        offered[j] = np.count_nonzero(t_idx >= warmup)
+        inj_percycle[:, j] = np.bincount(t_idx, minlength=cycles)
+    if B == 1:  # np.nonzero is row-major: already grouped by cycle
+        ival = parts_val[0].astype(pdtype)
+        iqid = parts_qid[0]
+        itin = parts_t[0]
+    else:
+        t_all = np.concatenate(parts_t)
+        grouped = np.argsort(t_all, kind="stable")  # <= 1 arrival/queue/cycle
+        ival = np.concatenate(parts_val)[grouped].astype(pdtype)
+        iqid = np.concatenate(parts_qid)[grouped]
+        itin = t_all[grouped]
+    inj_off = np.searchsorted(itin, np.arange(cycles + 1))
+
+    # -- ring buffers: one row per FIFO, head/tail monotone counters -----
+    depth_cap = 16
+    buf = np.zeros(num_q * depth_cap, pdtype)  # flat (num_q, depth_cap)
+    # head/tail/qpeak count pops/arrivals per queue: <= 2 per cycle, so
+    # int16 is safe below 2**14 cycles and keeps the hot arrays L2-sized
+    cdtype = (
+        np.int16 if total_cycles < 2**14
+        else np.int32 if total_cycles < 2**30 else np.int64
+    )
+    head = np.zeros(num_q, cdtype)
+    tail = np.zeros(num_q, cdtype)
+    solo = B == 1 and not trace  # scalar accounting fast path
+    qpeak = None if solo else np.zeros(num_q, cdtype)  # per-FIFO backlog peak
+    peak_seen = 0  # running global peak, drives capacity growth
+
+    inflight = np.zeros(B, np.int64)
+    total_inflight = 0
+    delivered = np.zeros(B, np.int64)
+    drained = np.zeros(B, np.int64)
+    latency = np.zeros(B, np.float64)  # integer-valued; exact below 2**53
+    drain_cycles = np.zeros(B, np.int64)
+
+    do_trace = trace and B == 1
+    tr_rows: List[Tuple[int, int, int, int, int]] = []
+    hist = np.zeros(1, np.int64)
+    # solo fast path: final-stage pops are stashed per cycle and settled
+    # in one vectorized pass after the loop (fin_t holds each chunk's t)
+    fin_vals: List[np.ndarray] = []
+    fin_t: List[int] = []
+
+    def grow() -> None:
+        nonlocal depth_cap, buf
+        new_cap = depth_cap * 2
+        nb = np.zeros(num_q * new_cap, pdtype)
+        depth = tail - head
+        q_rep = np.repeat(np.arange(num_q), depth)
+        ofs = np.arange(int(depth.sum())) - np.repeat(
+            np.cumsum(depth) - depth, depth
+        )
+        nb[q_rep * new_cap + ((head[q_rep] + ofs) & (new_cap - 1))] = buf[
+            q_rep * depth_cap + ((head[q_rep] + ofs) & (depth_cap - 1))
+        ]
+        buf, depth_cap = nb, new_cap
+
+    for t in range(total_cycles):
+        if t >= cycles:
+            if total_inflight == 0:
+                break
+            drain_cycles += inflight > 0
+        if peak_seen + 2 >= depth_cap:  # <= 2 arrivals per queue per cycle
+            grow()
+        mask = depth_cap - 1
+        dbits = mask.bit_length()
+        cyc_delivered = 0
+        cut = 0
+        cuts: List[int] = []
+        act = (head < tail).nonzero()[0]  # method call: skips wrappers
+        if act.size:
+            hp = head[act]
+            pval = buf[(act << dbits) | (hp & mask)]
+            head[act] = hp + 1
+            cuts = act.searchsorted(class_bounds).tolist()
+            cut = cuts[-1]
+            if cut < act.size:  # final-stage pops: deliveries
+                cyc_delivered = act.size - cut
+                total_inflight -= cyc_delivered
+                if solo:
+                    # defer the latency/warmup arithmetic: stash the
+                    # popped values and settle everything in one
+                    # vectorized pass after the loop
+                    inflight[0] -= cyc_delivered
+                    fin_vals.append(pval[cut:])
+                    fin_t.append(t)
+                else:
+                    done_tin = pval[cut:] >> n
+                    counted = (
+                        slice(None) if int(done_tin.min()) >= warmup
+                        else done_tin >= warmup
+                    )
+                    tin_c = done_tin[counted]
+                    jd = (act[cut:] >> n) & jmask
+                    inflight -= np.bincount(jd, minlength=B)
+                    if tin_c.size:
+                        jdc = jd[counted]
+                        latency += np.bincount(
+                            jdc, weights=t + 1 - tin_c, minlength=B
+                        )
+                        bump = np.bincount(jdc, minlength=B)
+                        if t < cycles:
+                            delivered += bump
+                        else:
+                            drained += bump
+        # arrivals: movers split into the two collision-free scatter
+        # passes along the precomputed sorted-id runs; this cycle's
+        # injections ride in the first pass (stage-0 targets are disjoint
+        # from mover targets, and input FIFOs see <= 1 injection/cycle)
+        segs_a: List[np.ndarray] = []
+        vals_a: List[np.ndarray] = []
+        segs_b: List[np.ndarray] = []
+        vals_b: List[np.ndarray] = []
+        if cut:
+            mq = act[:cut]
+            mval = pval[:cut]
+            if q_nshift is not None:
+                nout = mval >> q_nshift[mq]
+            else:
+                # act is stage-sorted, so the routing-bit index (stage+1)
+                # is constant on each stage run: scalar shifts beat the
+                # gather when there are only a few stages
+                nout = np.empty_like(mval)
+                lo = 0
+                for s in range(n - 1):
+                    hi = cuts[2 * s + 1]
+                    if hi > lo:
+                        np.right_shift(mval[lo:hi], s + 1, out=nout[lo:hi])
+                    lo = hi
+            nout &= 1
+            nqid = q_nbase[mq]
+            nqid |= nout
+            prev = 0
+            for i in range(0, len(cuts) - 1, 2):
+                ca, cb = cuts[i], cuts[i + 1]
+                if ca > prev:
+                    segs_a.append(nqid[prev:ca])
+                    vals_a.append(mval[prev:ca])
+                if cb > ca:
+                    segs_b.append(nqid[ca:cb])
+                    vals_b.append(mval[ca:cb])
+                prev = cb
+        cyc_injected = 0
+        if t < cycles:
+            a, b = int(inj_off[t]), int(inj_off[t + 1])
+            if b > a:
+                cyc_injected = b - a
+                total_inflight += cyc_injected
+                segs_a.append(iqid[a:b])
+                vals_a.append(ival[a:b])
+                if solo:
+                    inflight[0] += cyc_injected
+                else:
+                    inflight += inj_percycle[t]
+        touched: List[np.ndarray] = []
+        for segs, vals in ((segs_a, vals_a), (segs_b, vals_b)):
+            if not segs:
+                continue
+            qc = segs[0] if len(segs) == 1 else np.concatenate(segs)
+            vc = vals[0] if len(vals) == 1 else np.concatenate(vals)
+            tp = tail[qc]  # targets unique within a pass
+            buf[(qc << dbits) | (tp & mask)] = vc
+            tail[qc] = tp + 1
+            touched.append(qc)
+        if touched:
+            # pops precede pushes, so a FIFO's depth peaks at end of
+            # cycle: sampling the touched queues once here is exact
+            qt = touched[0] if len(touched) == 1 else np.concatenate(touched)
+            dep = tail[qt] - head[qt]
+            if not solo:
+                qpeak[qt] = np.maximum(qpeak[qt], dep)
+            pk = int(dep.max())
+            if pk > peak_seen:
+                peak_seen = pk
+        if do_trace:
+            depth_all = tail - head
+            tr_rows.append(
+                (t, cyc_injected, cyc_delivered, total_inflight,
+                 int(depth_all.max()))
+            )
+            h = np.bincount(depth_all)
+            if h.size > hist.size:
+                hist = np.pad(hist, (0, h.size - hist.size))
+            hist[: h.size] += h
+
+    if solo:
+        maxq = np.array([peak_seen], np.int64)
+        if fin_vals:
+            # settle the deferred final-stage accounting in one pass
+            allv = np.concatenate(fin_vals)
+            tins = allv >> n
+            counts = np.array([len(v) for v in fin_vals], np.int64)
+            t_arr = np.repeat(np.array(fin_t, np.int64), counts)
+            post = tins >= warmup
+            delivered[0] = int(np.count_nonzero(post & (t_arr < cycles)))
+            drained[0] = int(np.count_nonzero(post)) - int(delivered[0])
+            latency[0] = float(((t_arr + 1) - tins)[post].sum())
+    else:
+        maxq = qpeak.reshape(n, 2, 1 << jb, R).max(axis=(0, 1, 3))[:B]
+
+    results = []
+    for j, (rate, _seed) in enumerate(jobs):
+        completed = int(delivered[j] + drained[j])
+        tr = None
+        if do_trace:
+            cols = [np.asarray(c, np.int64) for c in zip(*tr_rows)] if tr_rows else [
+                np.empty(0, np.int64)
+            ] * 5
+            tr = StatsTrace(*cols, depth_hist=hist, measured_cycles=cycles)
+        results.append(
+            SimResult(
+                n=n,
+                rate_per_input=rate,
+                cycles=cycles,
+                offered=int(offered[j]),
+                delivered=int(delivered[j]),
+                avg_latency=float(latency[j]) / completed if completed else float("inf"),
+                max_queue=int(maxq[j]),
+                warmup=warmup,
+                drained=int(drained[j]),
+                drain_cycles=int(drain_cycles[j]),
+                in_flight=int(inflight[j]),
+                trace=tr,
+            )
+        )
+    return results
 
 
 def simulate_butterfly_queued(
@@ -65,19 +525,45 @@ def simulate_butterfly_queued(
     cycles: int = 2000,
     warmup: int = 200,
     seed: int = 0,
+    drain: Optional[int] = None,
+    trace: bool = False,
 ) -> SimResult:
     """Simulate Bernoulli(``rate_per_input``) arrivals per input per cycle
-    with uniform random destinations.
+    with uniform random destinations — vectorized engine.
 
-    Queues: one FIFO per (node, output link).  Each cycle every link
-    forwards at most one packet; packets choose the straight or cross
-    link by their destination's bit at the current stage.  Delivery and
-    latency are measured for packets injected after ``warmup``.
+    Every FIFO is a ring-buffer row of one flat NumPy array; each cycle
+    pops every nonempty queue at once and a two-pass collision-free
+    scatter moves the packets on (reproducing the reference enqueue
+    order — cycle, then source row — exactly, so results match
+    :func:`simulate_butterfly_queued_legacy` packet-for-packet).  After
+    the measured window, up to ``drain`` extra cycles (default
+    ``4 * (n + 1)``) run without injections so in-flight packets are not
+    misread as losses.  With ``trace=True`` the result carries a
+    per-cycle :class:`StatsTrace`.
     """
-    if not 0 < rate_per_input <= 1:
-        raise ValueError(f"rate must be in (0, 1], got {rate_per_input}")
-    if n < 1 or cycles < 1:
-        raise ValueError("need n >= 1 and cycles >= 1")
+    return _run_batch(
+        n, [(rate_per_input, seed)], cycles, warmup, drain, trace=trace
+    )[0]
+
+
+def simulate_butterfly_queued_legacy(
+    n: int,
+    rate_per_input: float,
+    cycles: int = 2000,
+    warmup: int = 200,
+    seed: int = 0,
+    drain: Optional[int] = None,
+) -> SimResult:
+    """Reference pure-Python simulator (the pre-vectorization triple
+    loop), kept for differential testing: same seed gives identical
+    offered / delivered / drained counts and latency totals as
+    :func:`simulate_butterfly_queued`.  Its ``max_queue`` is still the
+    historical coarse sample (every 64 cycles), a lower bound on the
+    engine's exact peak.
+    """
+    _validate(n, rate_per_input, cycles)
+    if drain is None:
+        drain = _default_drain(n)
     R = 1 << n
     rng = np.random.default_rng(seed)
     # queues[s][r][o]: packets at node (r, s) waiting on output o
@@ -85,14 +571,20 @@ def simulate_butterfly_queued(
     queues: List[List[Tuple[Deque, Deque]]] = [
         [(deque(), deque()) for _ in range(R)] for _ in range(n)
     ]
-    offered = delivered = 0
+    offered = delivered = drained = 0
     latency_total = 0
     max_queue = 0
+    drain_cycles = 0
+    in_flight = 0
 
     inject = rng.random((cycles, R)) < rate_per_input
     dests = rng.integers(0, R, size=(cycles, R))
 
-    for t in range(cycles):
+    for t in range(cycles + drain):
+        if t >= cycles:
+            if in_flight == 0:
+                break
+            drain_cycles += 1
         # advance stages back-to-front so a packet moves one hop per cycle
         for s in range(n - 1, -1, -1):
             bit = 1 << s
@@ -102,8 +594,12 @@ def simulate_butterfly_queued(
                 if straight:
                     pkt = straight.popleft()
                     if s + 1 == n:
+                        in_flight -= 1
                         if pkt[1] >= warmup:
-                            delivered += 1
+                            if t < cycles:
+                                delivered += 1
+                            else:
+                                drained += 1
                             latency_total += t + 1 - pkt[1]
                     else:
                         _enqueue(queues, pkt, r, s + 1, n)
@@ -111,17 +607,23 @@ def simulate_butterfly_queued(
                 if cross:
                     pkt = cross.popleft()
                     if s + 1 == n:
+                        in_flight -= 1
                         if pkt[1] >= warmup:
-                            delivered += 1
+                            if t < cycles:
+                                delivered += 1
+                            else:
+                                drained += 1
                             latency_total += t + 1 - pkt[1]
                     else:
                         _enqueue(queues, pkt, r ^ bit, s + 1, n)
         # injections at stage 0
-        for r in np.nonzero(inject[t])[0]:
-            pkt = (int(dests[t, r]), t)
-            if t >= warmup:
-                offered += 1
-            _enqueue(queues, pkt, int(r), 0, n)
+        if t < cycles:
+            for r in np.nonzero(inject[t])[0]:
+                pkt = (int(dests[t, r]), t)
+                if t >= warmup:
+                    offered += 1
+                in_flight += 1
+                _enqueue(queues, pkt, int(r), 0, n)
         if t % 64 == 0:
             backlog = max(
                 len(q)
@@ -131,7 +633,8 @@ def simulate_butterfly_queued(
             )
             max_queue = max(max_queue, backlog)
 
-    avg_latency = latency_total / delivered if delivered else float("inf")
+    completed = delivered + drained
+    avg_latency = latency_total / completed if completed else float("inf")
     return SimResult(
         n=n,
         rate_per_input=rate_per_input,
@@ -140,6 +643,10 @@ def simulate_butterfly_queued(
         delivered=delivered,
         avg_latency=avg_latency,
         max_queue=max_queue,
+        warmup=warmup,
+        drained=drained,
+        drain_cycles=drain_cycles,
+        in_flight=in_flight,
     )
 
 
@@ -149,21 +656,75 @@ def _enqueue(queues, pkt, r: int, s: int, n: int) -> None:
     queues[s][r][out].append(pkt)
 
 
+def _sweep_chunk(args: Tuple) -> List[SimResult]:
+    """Module-level worker so :func:`sweep_rates` chunks pickle cleanly."""
+    n, jobs, cycles, warmup, drain = args
+    return _run_batch(n, jobs, cycles, warmup, drain)
+
+
+def sweep_rates(
+    n: int,
+    rates: Sequence[float],
+    *,
+    cycles: int = 1500,
+    warmup: int = 200,
+    seeds: Sequence[int] = (0,),
+    drain: Optional[int] = None,
+    workers: Optional[int] = None,
+    batch: int = 16,
+) -> List[SimResult]:
+    """Run the engine over the ``rates x seeds`` grid.
+
+    Results come back rate-major (all seeds of ``rates[0]`` first).
+    Jobs are independent seeded simulations on disjoint queues, so they
+    are *batched* through one shared arbitration loop ``batch`` jobs at
+    a time — each vectorized cycle serves the whole batch — and with
+    ``workers > 1`` the batches are additionally farmed out to a
+    :mod:`multiprocessing` pool.  The grouping never changes the
+    numbers: every grouping is bit-identical to running each job alone.
+    """
+    jobs = [(float(rate), int(s)) for rate in rates for s in seeds]
+    batch = max(1, batch)
+    chunks = [
+        (n, jobs[i : i + batch], cycles, warmup, drain)
+        for i in range(0, len(jobs), batch)
+    ]
+    if workers and workers > 1 and len(chunks) > 1:
+        procs = min(workers, len(chunks))
+        with multiprocessing.get_context().Pool(procs) as pool:
+            parts = pool.map(_sweep_chunk, chunks)
+    else:
+        parts = [_sweep_chunk(c) for c in chunks]
+    return [res for part in parts for res in part]
+
+
 def saturation_per_node_rate(
     n: int,
     cycles: int = 1500,
     threshold: float = 0.95,
     seed: int = 0,
+    drain: Optional[int] = None,
 ) -> float:
-    """Largest tested per-node rate whose throughput stays within
-    ``threshold`` of offered load (coarse bisection over per-input
-    rates)."""
+    """Largest tested per-node rate whose accepted fraction stays within
+    ``threshold`` of offered load (bisection over per-input rates).
+
+    The bracket floor (per-input 0.1) is probed first: if even that
+    saturates, the network has no feasible tested rate and the function
+    returns 0.0 instead of misreporting the floor as a saturation point.
+    """
     lo, hi = 0.1, 1.0
+
+    def accepted(rate: float) -> float:
+        return simulate_butterfly_queued(
+            n, rate, cycles=cycles, seed=seed, drain=drain
+        ).accepted_fraction
+
+    if accepted(lo) < threshold:
+        return 0.0
     best = lo
     for _ in range(6):
         mid = (lo + hi) / 2
-        res = simulate_butterfly_queued(n, mid, cycles=cycles, seed=seed)
-        if res.accepted_fraction >= threshold:
+        if accepted(mid) >= threshold:
             best, lo = mid, mid
         else:
             hi = mid

@@ -15,6 +15,8 @@ Commands mirror the library's main entry points:
 ``hypercube``   2-D hypercube layout (companion-claim extension)
 ``ccc``         cube-connected-cycles layout (extension)
 ``omega``       omega-network layout + destination-tag routing check
+``sim``         dynamic queued-routing simulator: single runs, rate
+                sweeps, per-cycle trace export, saturation search
 ``sort``        run the bitonic sorting network
 ``isn-layout``  stage-column layout of an ISN itself
 ``benes``       route random permutations through a Benes network
@@ -42,6 +44,20 @@ def _ks(value: str) -> tuple:
     if not ks:
         raise argparse.ArgumentTypeError("empty parameter vector")
     return ks
+
+
+def _float_list(value: str) -> tuple:
+    try:
+        return tuple(float(x) for x in value.replace(" ", "").split(",") if x)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(f"bad float list {value!r}") from e
+
+
+def _int_list(value: str) -> tuple:
+    try:
+        return tuple(int(x) for x in value.replace(" ", "").split(",") if x)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(f"bad int list {value!r}") from e
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,6 +123,32 @@ def build_parser() -> argparse.ArgumentParser:
     om = sub.add_parser("omega", help="omega network layout + routing check")
     om.add_argument("-n", type=int, required=True)
     om.add_argument("--layers", type=int, default=2)
+
+    si = sub.add_parser("sim", help="dynamic queued-routing simulator")
+    si.add_argument("-n", type=int, required=True, help="butterfly dimension")
+    si.add_argument("--rate", type=float, default=0.8,
+                    help="per-input injection rate (default 0.8)")
+    si.add_argument("--rates", type=_float_list, default=None,
+                    help="comma list of rates: sweep mode, e.g. 0.2,0.5,0.8")
+    si.add_argument("--cycles", type=int, default=2000)
+    si.add_argument("--warmup", type=int, default=200)
+    si.add_argument("--seed", type=int, default=0)
+    si.add_argument("--seeds", type=_int_list, default=None,
+                    help="comma list of seeds (sweep mode)")
+    si.add_argument("--drain", type=int, default=None,
+                    help="drain-phase budget in cycles (default 4*(n+1))")
+    si.add_argument("--workers", type=int, default=None,
+                    help="multiprocessing workers for sweeps")
+    si.add_argument("--batch", type=int, default=16,
+                    help="jobs batched per arbitration loop (default 16)")
+    si.add_argument("--legacy", action="store_true",
+                    help="use the pure-Python reference engine (single run)")
+    si.add_argument("--trace-csv", type=str, default=None,
+                    help="write the per-cycle StatsTrace as CSV (single run)")
+    si.add_argument("--trace-json", type=str, default=None,
+                    help="write the per-cycle StatsTrace as JSON (single run)")
+    si.add_argument("--saturation", action="store_true",
+                    help="search the saturation per-node rate instead")
 
     so = sub.add_parser("sort", help="run the bitonic sorting network")
     so.add_argument("-n", type=int, required=True, help="2**n values")
@@ -309,6 +351,78 @@ def _cmd_omega(args) -> int:
         f"destination-tag routes checked: {checked}"
     )
     return 0 if rep.ok else 1
+
+
+def _cmd_sim(args) -> int:
+    from .algorithms.queued_routing import (
+        saturation_per_node_rate,
+        simulate_butterfly_queued,
+        simulate_butterfly_queued_legacy,
+        sweep_rates,
+    )
+
+    if args.saturation:
+        r = saturation_per_node_rate(
+            args.n, cycles=args.cycles, seed=args.seed, drain=args.drain
+        )
+        print(
+            f"saturation per-node rate for n={args.n}: {r:.4f} "
+            f"(paper's 1/(n+1) wall: {1 / (args.n + 1):.4f})"
+        )
+        return 0
+
+    rates = list(args.rates) if args.rates else [args.rate]
+    seeds = list(args.seeds) if args.seeds else [args.seed]
+    want_trace = bool(args.trace_csv or args.trace_json)
+    if len(rates) * len(seeds) == 1:
+        if args.legacy:
+            if want_trace:
+                print("--trace-* requires the vectorized engine", file=sys.stderr)
+                return 2
+            results = [
+                simulate_butterfly_queued_legacy(
+                    args.n, rates[0], cycles=args.cycles, warmup=args.warmup,
+                    seed=seeds[0], drain=args.drain,
+                )
+            ]
+        else:
+            res = simulate_butterfly_queued(
+                args.n, rates[0], cycles=args.cycles, warmup=args.warmup,
+                seed=seeds[0], drain=args.drain, trace=want_trace,
+            )
+            if args.trace_csv:
+                print(f"wrote {res.trace.to_csv(args.trace_csv)}")
+            if args.trace_json:
+                print(f"wrote {res.trace.to_json(args.trace_json)}")
+            results = [res]
+    else:
+        if args.legacy or want_trace:
+            print("--legacy/--trace-* apply to single runs only", file=sys.stderr)
+            return 2
+        results = sweep_rates(
+            args.n, rates, cycles=args.cycles, warmup=args.warmup,
+            seeds=seeds, drain=args.drain, workers=args.workers,
+            batch=args.batch,
+        )
+    rows = []
+    for i, res in enumerate(results):
+        rows.append(
+            {
+                "rate/input": res.rate_per_input,
+                "seed": seeds[i % len(seeds)],
+                "offered": res.offered,
+                "delivered": res.delivered_total,
+                "throughput/input": round(res.throughput_per_input, 4),
+                "accepted": round(res.accepted_fraction, 4),
+                "avg latency": (
+                    round(res.avg_latency, 2)
+                    if res.avg_latency != float("inf") else "inf"
+                ),
+                "max queue": res.max_queue,
+            }
+        )
+    print(format_table(rows))
+    return 0
 
 
 def _cmd_sort(args) -> int:

@@ -99,3 +99,51 @@ class TestCommands:
         svg = tmp_path / "board.svg"
         assert main(["board", "--svg", str(svg)]) == 0
         assert svg.exists()
+
+
+class TestSim:
+    def test_single_run(self, capsys):
+        assert main(["sim", "-n", "3", "--rate", "0.6", "--cycles", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput/input" in out
+        assert "max queue" in out
+
+    def test_legacy_matches_vectorized(self, capsys):
+        argv = ["sim", "-n", "2", "--rate", "0.5", "--cycles", "150"]
+        assert main(argv) == 0
+        vec = capsys.readouterr().out
+        assert main(argv + ["--legacy"]) == 0
+        leg = capsys.readouterr().out
+        assert vec == leg
+
+    def test_sweep(self, capsys):
+        assert main(
+            ["sim", "-n", "3", "--rates", "0.3,0.8", "--cycles", "200",
+             "--seeds", "0,1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("0.3") >= 2  # one row per (rate, seed)
+
+    def test_saturation(self, capsys):
+        assert main(["sim", "-n", "3", "--cycles", "300", "--saturation"]) == 0
+        assert "1/(n+1) wall" in capsys.readouterr().out
+
+    def test_trace_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        json_path = tmp_path / "t.json"
+        assert main(
+            ["sim", "-n", "3", "--rate", "0.7", "--cycles", "150",
+             "--trace-csv", str(csv_path), "--trace-json", str(json_path)]
+        ) == 0
+        assert csv_path.exists() and json_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "cycle,injected,delivered,in_flight,max_depth"
+
+    def test_trace_rejected_with_legacy(self, tmp_path):
+        assert main(
+            ["sim", "-n", "3", "--legacy", "--trace-csv",
+             str(tmp_path / "t.csv")]
+        ) == 2
+
+    def test_sweep_rejects_legacy(self):
+        assert main(["sim", "-n", "3", "--rates", "0.3,0.8", "--legacy"]) == 2

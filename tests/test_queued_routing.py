@@ -1,0 +1,198 @@
+"""Tests for the vectorized queued-routing engine and its fixed metrics.
+
+The legacy triple-loop simulator stays in the tree purely as a reference
+implementation; the differential tests here pin the vectorized engine to
+it packet-for-packet under fixed seeds.
+"""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.queued_routing import (
+    SimResult,
+    _default_drain,
+    saturation_per_node_rate,
+    simulate_butterfly_queued,
+    simulate_butterfly_queued_legacy,
+    sweep_rates,
+)
+
+
+class TestDifferential:
+    """Vectorized engine vs. the legacy reference loop, same seeds."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    @pytest.mark.parametrize("rate", [0.2, 0.6, 0.95])
+    def test_matches_legacy_packet_for_packet(self, n, rate):
+        vec = simulate_butterfly_queued(n, rate, cycles=300, warmup=40, seed=3)
+        ref = simulate_butterfly_queued_legacy(
+            n, rate, cycles=300, warmup=40, seed=3
+        )
+        assert vec.offered == ref.offered
+        assert vec.delivered == ref.delivered
+        assert vec.drained == ref.drained
+        assert vec.in_flight == ref.in_flight
+        assert vec.drain_cycles == ref.drain_cycles
+        assert vec.avg_latency == pytest.approx(ref.avg_latency, abs=1e-12)
+
+    def test_exact_max_queue_dominates_legacy_sampling(self):
+        """The legacy loop samples depths every 64 cycles; the engine
+        tracks every enqueue, so its peak is never smaller and is
+        strictly larger whenever the true peak falls between samples."""
+        pairs = []
+        for seed in range(6):
+            vec = simulate_butterfly_queued(
+                4, 0.95, cycles=300, warmup=0, seed=seed
+            )
+            ref = simulate_butterfly_queued_legacy(
+                4, 0.95, cycles=300, warmup=0, seed=seed
+            )
+            assert vec.max_queue >= ref.max_queue
+            pairs.append((vec.max_queue, ref.max_queue))
+        assert any(v > r for v, r in pairs)
+
+    def test_max_queue_agrees_with_trace(self):
+        r = simulate_butterfly_queued(4, 0.9, cycles=400, seed=2, trace=True)
+        assert r.max_queue == int(r.trace.max_depth.max())
+
+
+class TestMetrics:
+    def test_throughput_uses_measured_window(self):
+        """Satellite 1: divide by (cycles - warmup) * rows, not cycles."""
+        r = SimResult(
+            n=3, rate_per_input=0.5, cycles=1000, offered=3200,
+            delivered=3200, avg_latency=4.0, max_queue=2, warmup=200,
+        )
+        assert r.measured_cycles == 800
+        assert r.throughput_per_input == pytest.approx(3200 / (800 * 8))
+        # the old definition (divide by all cycles) would be biased low
+        assert r.throughput_per_input > 3200 / (1000 * 8)
+
+    def test_throughput_tracks_offered_rate_at_low_load(self):
+        """With warmup excluded, measured throughput ~ offered rate even
+        when warmup is a large slice of the run."""
+        r = simulate_butterfly_queued(4, 0.4, cycles=600, warmup=300, seed=5)
+        assert r.warmup == 300
+        assert r.throughput_per_input == pytest.approx(0.4, rel=0.15)
+
+    def test_drain_phase_recovers_in_flight_packets(self):
+        """Satellite 3: accepted_fraction gets a bounded drain phase so
+        packets still in the network at cutoff are not counted as lost."""
+        undrained = simulate_butterfly_queued(
+            4, 0.9, cycles=120, warmup=20, seed=1, drain=0
+        )
+        drained = simulate_butterfly_queued(
+            4, 0.9, cycles=120, warmup=20, seed=1
+        )
+        assert undrained.in_flight > 0
+        assert drained.drained > 0
+        assert drained.accepted_fraction > undrained.accepted_fraction
+        assert drained.accepted_fraction > 0.97
+        # the drain is bounded and stops early once the network is empty
+        assert drained.drain_cycles <= _default_drain(4)
+
+    def test_conservation(self):
+        r = simulate_butterfly_queued(5, 0.8, cycles=400, warmup=50, seed=9)
+        assert r.offered == r.delivered + r.drained + r.in_flight
+
+
+class TestSaturation:
+    def test_floor_probe_returns_zero_when_unreachable(self):
+        """Satellite 2: if even the 0.1 bracket floor fails the
+        acceptance threshold, report 0.0 instead of the floor itself."""
+        assert saturation_per_node_rate(3, cycles=300, threshold=1.5) == 0.0
+
+    def test_normal_threshold_finds_positive_rate(self):
+        assert saturation_per_node_rate(3, cycles=400) > 0.0
+
+    def test_scales_like_inverse_n_plus_one(self):
+        """Satellite 5 property: per-node saturation rate decays roughly
+        like 1/(n+1) (the paper's queueing wall) for n = 3..6."""
+        sats = {n: saturation_per_node_rate(n, cycles=700) for n in range(3, 7)}
+        for n in range(3, 6):
+            assert sats[n] > sats[n + 1]  # monotone decay
+        for n, s in sats.items():
+            assert s * (n + 1) == pytest.approx(1.0, rel=0.2)
+
+
+class TestSweep:
+    def test_grid_shape_and_order(self):
+        res = sweep_rates(3, [0.3, 0.7], cycles=200, seeds=(0, 1), batch=4)
+        assert [(r.rate_per_input, r.n) for r in res] == [
+            (0.3, 3), (0.3, 3), (0.7, 3), (0.7, 3)
+        ]
+
+    def test_batching_never_changes_results(self):
+        """Batched arbitration is bit-identical to running jobs alone."""
+        rates = [0.2, 0.5, 0.8, 0.95]
+        solo = [
+            simulate_butterfly_queued(3, r, cycles=250, warmup=30, seed=s)
+            for r in rates
+            for s in (0, 4)
+        ]
+        batched = sweep_rates(
+            3, rates, cycles=250, warmup=30, seeds=(0, 4), batch=3
+        )
+        assert batched == solo  # frozen dataclass equality, trace excluded
+
+    def test_worker_pool_matches_serial(self):
+        serial = sweep_rates(3, [0.3, 0.6, 0.9], cycles=200, batch=1)
+        pooled = sweep_rates(3, [0.3, 0.6, 0.9], cycles=200, batch=1, workers=2)
+        assert pooled == serial
+
+
+class TestStatsTrace:
+    def test_trace_does_not_perturb_results(self):
+        plain = simulate_butterfly_queued(3, 0.8, cycles=300, seed=6)
+        traced = simulate_butterfly_queued(3, 0.8, cycles=300, seed=6, trace=True)
+        assert traced == plain  # trace field excluded from comparison
+        assert traced.trace is not None
+
+    def test_trace_conservation_and_shape(self):
+        r = simulate_butterfly_queued(3, 0.8, cycles=300, warmup=40, seed=6, trace=True)
+        tr = r.trace
+        rows = 300 + r.drain_cycles
+        for col in tr._COLUMNS:
+            assert len(getattr(tr, col)) == rows
+        assert tr.measured_cycles == 300
+        assert int(tr.injected.sum()) == int(tr.delivered.sum()) + int(tr.in_flight[-1])
+        assert int(tr.injected[300:].sum()) == 0  # no injections while draining
+
+    def test_csv_export(self, tmp_path):
+        r = simulate_butterfly_queued(3, 0.7, cycles=150, seed=2, trace=True)
+        path = r.trace.to_csv(str(tmp_path / "trace.csv"))
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 150 + r.drain_cycles
+        assert set(rows[0]) == set(r.trace._COLUMNS)
+        assert sum(int(row["delivered"]) for row in rows) == int(
+            r.trace.delivered.sum()
+        )
+
+    def test_json_export(self, tmp_path):
+        r = simulate_butterfly_queued(3, 0.7, cycles=150, seed=2, trace=True)
+        path = r.trace.to_json(str(tmp_path / "trace.json"))
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["measured_cycles"] == 150
+        assert len(payload["cycle"]) == 150 + r.drain_cycles
+        assert sum(payload["depth_hist"]) > 0
+        assert payload["delivered"] == [int(v) for v in r.trace.delivered]
+
+
+class TestValidation:
+    def test_rejects_bad_rate_and_size(self):
+        with pytest.raises(ValueError):
+            simulate_butterfly_queued(3, 1.5)
+        with pytest.raises(ValueError):
+            simulate_butterfly_queued(3, -0.1)
+        with pytest.raises(ValueError):
+            sweep_rates(0, [0.5])
+
+    def test_numpy_types_roundtrip(self):
+        # sweep_rates coerces rates/seeds so numpy scalars are fine
+        res = sweep_rates(2, np.array([0.5]), cycles=100, seeds=np.array([1]))
+        assert res[0].rate_per_input == 0.5

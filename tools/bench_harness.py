@@ -4,14 +4,17 @@
 Times the vectorized bulk construction path against the per-edge
 reference path for the paper's networks (swap-butterflies, butterflies,
 swap networks) at dimensions up to ``--max-n``, times layout build +
-validation for the grid scheme, and runs a curated subset of the
-``benchmarks/bench_*.py`` pytest-benchmark suite.  Results are written to
-``BENCH_<date>.json`` in the repo root (or ``--out``).
+validation for the grid scheme, times the queued-routing simulator
+(vectorized engine vs the pure-Python reference, single and batched,
+with a packet-for-packet parity check), and runs a curated subset of
+the ``benchmarks/bench_*.py`` pytest-benchmark suite.  Results are
+written to ``BENCH_<date>.json`` in the repo root (or ``--out``).
 
 Usage::
 
     PYTHONPATH=src python tools/bench_harness.py            # full run
     PYTHONPATH=src python tools/bench_harness.py --smoke    # CI-sized run
+    PYTHONPATH=src python tools/bench_harness.py --sim-smoke  # engine only
     PYTHONPATH=src python tools/bench_harness.py --max-n 12 --out /tmp/b.json
 
 Methodology: each timed section runs ``gc.collect()`` first and reports
@@ -175,6 +178,81 @@ def bench_validation(ks_list: Sequence[Sequence[int]], repeats: int) -> List[Dic
     return out
 
 
+def bench_queued_routing(
+    n: int, cycles: int, warmup: int, rate: float, repeats: int, batch: int
+) -> Dict:
+    """Vectorized queued-routing engine vs the pure-Python reference.
+
+    Times three things interleaved (so machine-load drift hits both
+    engines alike, best-of-``repeats`` each): the legacy loop, a single
+    vectorized run, and a ``batch``-job batched run — the production
+    :func:`sweep_rates` shape.  Also checks packet-for-packet parity of
+    the two engines and exercises the ``StatsTrace`` CSV/JSON export.
+    """
+    from repro.algorithms.queued_routing import (  # noqa: PLC0415
+        _run_batch,
+        simulate_butterfly_queued,
+        simulate_butterfly_queued_legacy,
+    )
+
+    jobs = [(rate, s) for s in range(batch)]
+    # warm-up: allocator, lookup tables, numpy dispatch caches
+    simulate_butterfly_queued(n, rate, cycles=min(cycles, 300),
+                              warmup=min(warmup, 30), seed=3)
+    _run_batch(n, jobs, min(cycles, 300), min(warmup, 30), None)
+    legacy_s = vec_s = batch_s = float("inf")
+    vres = lres = None
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        lres = simulate_butterfly_queued_legacy(
+            n, rate, cycles=cycles, warmup=warmup, seed=3)
+        legacy_s = min(legacy_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        vres = simulate_butterfly_queued(
+            n, rate, cycles=cycles, warmup=warmup, seed=3)
+        vec_s = min(vec_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        _run_batch(n, jobs, cycles, warmup, None)
+        batch_s = min(batch_s, time.perf_counter() - t0)
+    parity = all(
+        getattr(vres, f) == getattr(lres, f)
+        for f in ("offered", "delivered", "drained", "in_flight")
+    ) and abs(vres.avg_latency - lres.avg_latency) < 1e-9
+
+    tr = simulate_butterfly_queued(
+        min(n, 5), 0.7, cycles=400, warmup=50, trace=True).trace
+    with tempfile.TemporaryDirectory() as tmp:
+        tr.to_csv(os.path.join(tmp, "sim_trace.csv"))
+        tr.to_json(os.path.join(tmp, "sim_trace.json"))
+
+    entry = {
+        "n": n,
+        "rate_per_input": rate,
+        "cycles": cycles,
+        "warmup": warmup,
+        "repeats": repeats,
+        "batch_jobs": batch,
+        "legacy_s": legacy_s,
+        "vectorized_s": vec_s,
+        "batch_s": batch_s,
+        "batch_per_job_s": batch_s / batch,
+        "speedup_single": legacy_s / vec_s,
+        "speedup_batched": batch * legacy_s / batch_s,
+        "parity": parity,
+        "delivered_total": vres.delivered + vres.drained,
+        "trace_cycles": int(tr.cycle.size),
+    }
+    print(
+        f"  queued-routing n={n}: legacy {legacy_s:7.3f} s  "
+        f"vectorized {vec_s:7.3f} s ({entry['speedup_single']:.1f}x)  "
+        f"batch[{batch}] {batch_s / batch:7.3f} s/job "
+        f"({entry['speedup_batched']:.1f}x)  "
+        f"parity {'OK' if parity else 'FAILED'}"
+    )
+    return entry
+
+
 def run_curated_benches(benches: Sequence[str]) -> Optional[List[Dict]]:
     """Run the curated pytest-benchmark subset; fold in its stats."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -215,6 +293,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
                     help="CI-sized run: small dimensions, no curated suite")
+    ap.add_argument("--sim-smoke", action="store_true",
+                    help="queued-routing engine smoke only: parity, "
+                         "speedup and trace export at a CI-sized load")
     ap.add_argument("--max-n", type=int, default=16,
                     help="largest butterfly dimension to construct (default 16)")
     ap.add_argument("--repeats", type=int, default=3,
@@ -237,10 +318,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     date = _dt.date.today().isoformat()
     out_path = args.out or os.path.join(REPO_ROOT, f"BENCH_{date}.json")
 
+    if args.sim_smoke:
+        print("queued-routing smoke (parity + speedup + trace export):")
+        entry = bench_queued_routing(
+            n=6, cycles=1500, warmup=150, rate=0.8, repeats=2, batch=8)
+        report = {
+            "generated": date,
+            "sim_smoke": True,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "queued_routing": entry,
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+        if not entry["parity"]:
+            print("ERROR: vectorized engine diverged from the reference",
+                  file=sys.stderr)
+            return 1
+        if entry["speedup_batched"] < 2.0:
+            print(f"WARNING: batched sim speedup "
+                  f"{entry['speedup_batched']:.1f}x below 2x floor",
+                  file=sys.stderr)
+            return 1
+        return 0
+
     print(f"construction (bulk vs per-edge, best of {repeats}):")
     construction = bench_construction(ns, repeats, per_edge_max_n)
     print("layout build + validation:")
     validation = bench_validation(val_ks, repeats)
+    print("queued-routing simulator (legacy vs vectorized, interleaved):")
+    if args.smoke:
+        queued = bench_queued_routing(
+            n=6, cycles=1500, warmup=150, rate=0.8, repeats=2, batch=8)
+    else:
+        queued = bench_queued_routing(
+            n=8, cycles=2000, warmup=200, rate=0.8,
+            repeats=max(repeats, 5), batch=16)
     curated = None
     if not args.smoke:
         print("curated benchmark subset:")
@@ -255,6 +371,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "platform": platform.platform(),
         "construction": construction,
         "validation": validation,
+        "queued_routing": queued,
         "curated_benchmarks": curated,
     }
     with open(out_path, "w") as fh:
@@ -272,6 +389,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if worst is not None and worst < 3.0:
         print(f"WARNING: swap-butterfly speedup {worst:.1f}x below 3x target",
               file=sys.stderr)
+        return 1
+    if not queued["parity"]:
+        print("ERROR: vectorized queued-routing engine diverged from the "
+              "reference", file=sys.stderr)
         return 1
     return 0
 
