@@ -5,6 +5,13 @@ distributional statistics sharpen the comparison between layout shapes —
 the grid scheme trades a slightly larger area constant for a much
 shorter tail than the stage-column shape, which is exactly the paper's
 argument for its scheme (propagation delay, drive power).
+
+Lengths are read through :meth:`Layout.wire_table`, so table-backed
+layouts are measured columnar-ly.  The old object loop touched
+``layout.wires``, which silently materialized (and discarded) the
+native table of a vectorized layout just to compute statistics; the
+per-wire integer lengths are identical either way, pinned by the
+differential tests.
 """
 
 from __future__ import annotations
@@ -41,9 +48,13 @@ class WireStats:
         }
 
 
+def _lengths(layout: Layout) -> np.ndarray:
+    return layout.wire_table().wire_lengths()
+
+
 def wire_stats(layout: Layout) -> WireStats:
     """Length distribution summary over all wires."""
-    lengths = np.array([w.length for w in layout.wires], dtype=float)
+    lengths = _lengths(layout)
     if len(lengths) == 0:
         raise ValueError("layout has no wires")
     return WireStats(
@@ -61,7 +72,7 @@ def length_histogram(
     layout: Layout, bins: Sequence[float]
 ) -> List[Tuple[str, int]]:
     """Counts of wires per length bin (``bins`` are the right edges)."""
-    lengths = np.array([w.length for w in layout.wires], dtype=float)
+    lengths = _lengths(layout)
     out: List[Tuple[str, int]] = []
     lo = 0.0
     for hi in bins:

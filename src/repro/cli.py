@@ -6,7 +6,9 @@ Commands mirror the library's main entry points:
 ``verify``      check the ISN -> butterfly automorphism for a parameter
                 vector
 ``layout``      build + validate a wire-level butterfly layout; print
-                measurements, optionally write an SVG
+                area and wire-length statistics, optionally write an
+                SVG; ``--legacy`` uses the object-per-wire engine
+                instead of the columnar WireTable one
 ``dims``        closed-form layout dimensions (works at any ``n``)
 ``collinear``   optimal collinear layout of ``K_N``
 ``board``       the Section 5.2 board calculator
@@ -77,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
     l.add_argument("--ks", type=_ks, required=True)
     l.add_argument("--layers", type=int, default=2)
     l.add_argument("--node-side", type=int, default=4)
+    l.add_argument("--track-order", choices=["forward", "reversed"],
+                   default="forward")
+    l.add_argument("--recirculating", action="store_true",
+                   help="add the wrap-around feedback channel")
+    l.add_argument("--legacy", action="store_true",
+                   help="use the object-per-wire builder and validator "
+                        "instead of the columnar WireTable engine")
     l.add_argument("--svg", type=str, default=None)
     l.add_argument("--no-validate", action="store_true")
 
@@ -188,18 +197,43 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_layout(args) -> int:
+    import time
+
+    from .analysis.wirestats import wire_stats
     from .layout import build_grid_layout, validate_layout
+    from .layout.validate import validate_layout_legacy
     from .viz.svg import save_svg
 
-    res = build_grid_layout(args.ks, W=args.node_side, L=args.layers)
+    engine = "legacy" if args.legacy else "table"
+    t0 = time.perf_counter()
+    res = build_grid_layout(
+        args.ks, W=args.node_side, L=args.layers,
+        track_order=args.track_order, recirculating=args.recirculating,
+        engine=engine,
+    )
+    build_s = time.perf_counter() - t0
     if not args.no_validate:
-        rep = validate_layout(res.layout, res.graph)
-        print(f"validation: {'OK' if rep.ok else 'FAILED'}")
+        check = validate_layout_legacy if args.legacy else validate_layout
+        t0 = time.perf_counter()
+        rep = check(res.layout, res.graph)
+        validate_s = time.perf_counter() - t0
+        print(
+            f"validation ({engine}): {'OK' if rep.ok else 'FAILED'}  "
+            f"[build {build_s:.3f} s, validate {validate_s:.3f} s]"
+        )
         if not rep.ok:
             for e in rep.errors[:10]:
                 print(f"  {e}")
             return 1
+    else:
+        print(f"build ({engine}): {build_s:.3f} s (validation skipped)")
     rows = [{"metric": k, "value": v} for k, v in res.layout.summary().items()]
+    ws = wire_stats(res.layout)
+    rows += [
+        {"metric": k, "value": v}
+        for k, v in ws.as_row("grid").items()
+        if k not in ("layout", "wires", "max")  # already in summary()
+    ]
     print(format_table(rows))
     if args.svg:
         print(f"wrote {save_svg(res.layout, args.svg, scale=1.5)}")

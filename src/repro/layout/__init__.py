@@ -1,6 +1,17 @@
 """VLSI layout engines: geometry, validation, collinear layouts of complete
 graphs, and the recursive grid layout scheme for butterflies under the
-Thompson and multilayer 2-D grid models."""
+Thompson and multilayer 2-D grid models.
+
+The wire-level hot path is columnar: builders emit a :class:`WireTable`
+(int64 segment arrays in CSR layout) directly, and :func:`validate_layout`
+runs sort/cummax sweeps over those columns.  ``engine="legacy"`` on the
+builders and :func:`validate_layout_legacy` keep the original
+object-per-wire paths alive as differential oracles — both engines
+produce identical layouts wire for wire and identical verdicts, pinned
+by ``tests/test_layout_vectorized.py``.  ``Layout`` converts between the
+two representations losslessly, so ``viz/`` and other object-level
+consumers are unaffected.  The ``repro layout`` CLI subcommand drives a
+build + validation + wire-statistics run of either engine (``--legacy``)."""
 
 from .blocks import BlockDims, BlockPlan, block_dims, plan_block
 from .collinear_generic import (
@@ -45,7 +56,13 @@ from .geometry import LayerPair, Rect, Segment, THOMPSON_LAYERS, Wire
 from .grid_scheme import GridDims, GridLayoutResult, build_grid_layout, grid_dims, max_wire_bounds
 from .model import Layout, LayoutModel, multilayer_model, thompson_model
 from .tracks import TrackGrouping, base_layer_pair
-from .validate import ValidationReport, validate_layout
+from .validate import (
+    ValidationReport,
+    validate_layout,
+    validate_layout_legacy,
+    validate_table,
+)
+from .wiretable import WireTable, WireTableBuilder
 
 __all__ = [
     "Rect",
@@ -59,6 +76,10 @@ __all__ = [
     "multilayer_model",
     "ValidationReport",
     "validate_layout",
+    "validate_layout_legacy",
+    "validate_table",
+    "WireTable",
+    "WireTableBuilder",
     "CollinearLayout",
     "collinear_layout",
     "track_assignment",

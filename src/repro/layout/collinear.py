@@ -24,16 +24,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Literal, Optional, Tuple
 
+import numpy as np
+
 from ..topology.complete import complete_multigraph
 from ..topology.graph import Graph
 from .geometry import LayerPair, Rect, THOMPSON_LAYERS, Wire
 from .model import Layout, LayoutModel, thompson_model
+from .wiretable import WireTable
 
 __all__ = [
     "optimal_track_count",
     "chen_agrawal_track_count",
     "naive_track_count",
     "track_assignment",
+    "track_assignment_arrays",
     "CollinearLayout",
     "collinear_layout",
 ]
@@ -95,6 +99,32 @@ def track_assignment(n: int, order: TrackOrder = "forward") -> Dict[Tuple[int, i
     return assign
 
 
+def track_assignment_arrays(
+    n: int, order: TrackOrder = "forward"
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`track_assignment` as arrays ``(a, b, track)``, sorted by
+    ``(a, b)`` — the iteration order of the object builder."""
+    if n < 2:
+        raise ValueError(f"need n >= 2 nodes, got {n}")
+    a_parts, t_parts = [], []
+    base = 0
+    for i in range(1, n):
+        width = min(i, n - i)
+        a = np.arange(n - i, dtype=np.int64)
+        t_parts.append(base + (a % i if i <= n // 2 else a))
+        a_parts.append(a)
+        base += width
+    a = np.concatenate(a_parts)
+    t = np.concatenate(t_parts)
+    b = a + np.repeat(np.arange(1, n, dtype=np.int64),
+                      [n - i for i in range(1, n)])
+    total = optimal_track_count(n)
+    if order == "reversed":
+        t = total - 1 - t
+    srt = np.lexsort((b, a))
+    return a[srt], b[srt], t[srt]
+
+
 @dataclass
 class CollinearLayout:
     """Geometric collinear layout of ``K_n`` (with multiplicity).
@@ -129,6 +159,7 @@ def collinear_layout(
     order: TrackOrder = "forward",
     layers: LayerPair = THOMPSON_LAYERS,
     model: Optional[LayoutModel] = None,
+    engine: Literal["table", "legacy"] = "table",
 ) -> CollinearLayout:
     """Construct the wire-level collinear layout of ``K_n`` (x ``multiplicity``).
 
@@ -136,16 +167,22 @@ def collinear_layout(
     offset on its top edge, ordered by (neighbor label, copy); this ordering
     guarantees that chained same-track links only meet end-to-end, never
     overlapping (the interval argument in the module docstring).
+
+    ``engine="table"`` (default) assembles the wires as columnar numpy
+    arrays directly; ``engine="legacy"`` is the original object-per-wire
+    builder, kept as the differential-testing oracle.  Both produce
+    identical layouts wire for wire.
     """
     if multiplicity < 1:
         raise ValueError(f"multiplicity must be >= 1, got {multiplicity}")
+    if engine not in ("table", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
     degree = multiplicity * (n - 1)
     side = node_side if node_side is not None else max(degree, 1)
     if side < degree:
         raise ValueError(
             f"node side {side} cannot host {degree} top-edge terminals"
         )
-    base_assign = track_assignment(n, "forward")
     tracks_total = optimal_track_count(n) * multiplicity
 
     pitch = side + 1
@@ -160,25 +197,70 @@ def collinear_layout(
         rank = (b if b < a else b - 1) * multiplicity + copy
         return a * pitch + rank
 
-    lay = Layout(model=model or thompson_model(), name=f"collinear-K{n}x{multiplicity}")
+    track_of: Dict[Tuple[int, int, int], int] = {}
+    if engine == "table":
+        m = multiplicity
+        a0, b0, t0 = track_assignment_arrays(n, "forward")
+        nl = len(a0)
+        a = np.repeat(a0, m)
+        b = np.repeat(b0, m)
+        copy = np.tile(np.arange(m, dtype=np.int64), nl)
+        t = np.repeat(t0, m) * m + copy
+        if order == "reversed":
+            t = tracks_total - 1 - t
+        y = top + 1 + t
+        # a < b throughout, so node a ranks its terminal by (b - 1, copy)
+        # and node b by (a, copy)
+        xa = a * pitch + (b - 1) * m + copy
+        xb = b * pitch + a * m + copy
+        nw = nl * m
+        rows = np.empty((nw, 3, 5), dtype=np.int64)
+        topv = np.full(nw, top, dtype=np.int64)
+        rows[:, 0] = np.stack(
+            [xa, topv, xa, y, np.full(nw, layers.vertical, dtype=np.int64)], axis=1
+        )
+        rows[:, 1] = np.stack(
+            [xa, y, xb, y, np.full(nw, layers.horizontal, dtype=np.int64)], axis=1
+        )
+        rows[:, 2] = np.stack(
+            [xb, topv, xb, y, np.full(nw, layers.vertical, dtype=np.int64)], axis=1
+        )
+        flat = rows.reshape(nw * 3, 5)
+        nets = list(zip(a.tolist(), b.tolist(), copy.tolist()))
+        table = WireTable.from_segment_arrays(
+            nets,
+            np.arange(nw + 1, dtype=np.int64) * 3,
+            flat[:, 0], flat[:, 1], flat[:, 2], flat[:, 3], flat[:, 4],
+        )
+        lay = Layout(
+            model=model or thompson_model(),
+            name=f"collinear-K{n}x{multiplicity}",
+            table=table,
+        )
+        track_of = dict(zip(nets, t.tolist()))
+    else:
+        lay = Layout(
+            model=model or thompson_model(),
+            name=f"collinear-K{n}x{multiplicity}",
+        )
+        base_assign = track_assignment(n, "forward")
+        for (a, b), t0 in sorted(base_assign.items()):
+            for copy in range(multiplicity):
+                t = t0 * multiplicity + copy
+                if order == "reversed":
+                    t = tracks_total - 1 - t
+                y = top + 1 + t
+                xa, xb = terminal_x(a, b, copy), terminal_x(b, a, copy)
+                wire = Wire.from_path(
+                    (a, b, copy),
+                    [(xa, top), (xa, y), (xb, y), (xb, top)],
+                    layers=layers,
+                )
+                lay.add_wire(wire)
+                track_of[(a, b, copy)] = t
+
     for a in range(n):
         lay.add_node(a, Rect(a * pitch, 0, side, side))
-
-    track_of: Dict[Tuple[int, int, int], int] = {}
-    for (a, b), t0 in sorted(base_assign.items()):
-        for copy in range(multiplicity):
-            t = t0 * multiplicity + copy
-            if order == "reversed":
-                t = tracks_total - 1 - t
-            y = top + 1 + t
-            xa, xb = terminal_x(a, b, copy), terminal_x(b, a, copy)
-            wire = Wire.from_path(
-                (a, b, copy),
-                [(xa, top), (xa, y), (xb, y), (xb, top)],
-                layers=layers,
-            )
-            lay.add_wire(wire)
-            track_of[(a, b, copy)] = t
 
     return CollinearLayout(
         n=n,

@@ -27,13 +27,16 @@ receive the row/column index so inhomogeneous products are possible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Literal, Optional, Tuple
+
+import numpy as np
 
 from ..topology.graph import Graph
 from .collinear_generic import left_edge_tracks, max_congestion
 from .geometry import Rect, Wire
 from .model import Layout, multilayer_model, thompson_model
 from .tracks import TrackGrouping, base_layer_pair
+from .wiretable import WireTable
 
 __all__ = ["Grid2DDims", "Grid2DResult", "build_grid2d_layout"]
 
@@ -130,6 +133,7 @@ def build_grid2d_layout(
     L: int = 2,
     name: str = "grid2d",
     split_channels: bool = False,
+    engine: Literal["table", "legacy"] = "table",
 ) -> Grid2DResult:
     """Lay out a network of ``rows x cols`` nodes with per-row/column links.
 
@@ -137,11 +141,19 @@ def build_grid2d_layout(
     (on node ids ``0..cols-1``); ``col_graph(c)`` likewise on row indices.
     Node side defaults to the maximum terminal demand (with
     ``split_channels`` each node edge carries only its half).
+
+    ``engine="table"`` (default) accumulates the channel wires as columnar
+    arrays and backs the layout with a
+    :class:`~repro.layout.wiretable.WireTable`; ``engine="legacy"`` builds
+    one :class:`Wire` object per link.  Both produce identical layouts
+    wire for wire, in the same order.
     """
     if rows < 1 or cols < 1:
         raise ValueError("need at least a 1x1 grid")
     if L < 2:
         raise ValueError(f"need at least 2 layers, got {L}")
+    if engine not in ("table", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
     rgs = [row_graph(r) for r in range(rows)]
     cgs = [col_graph(c) for c in range(cols)]
     for r, g in enumerate(rgs):
@@ -203,7 +215,6 @@ def build_grid2d_layout(
     )
 
     model = thompson_model() if L == 2 else multilayer_model(L)
-    lay = Layout(model=model, name=f"{name}-{rows}x{cols}-L{L}")
     net = Graph(name=name)
 
     x_off = ch_left + 1 if ch_left else 0
@@ -212,11 +223,28 @@ def build_grid2d_layout(
     def origin(r: int, c: int) -> Tuple[int, int]:
         return (c * cell_w + x_off, r * cell_h + y_off)
 
+    nodes: Dict[Node, Rect] = {}
     for r in range(rows):
         for c in range(cols):
             ox, oy = origin(r, c)
-            lay.add_node((r, c), Rect(ox, oy, side, side))
+            nodes[(r, c)] = Rect(ox, oy, side, side)
             net.add_node((r, c))
+
+    # wire emitter: every channel wire is the same 4-point dogleg, so the
+    # table engine just records (net, path, layer pair) rows and builds
+    # the columns in one shot at the end
+    wire_objs: List[Wire] = []
+    nets_out: List[Tuple] = []
+    paths_out: List[Tuple[int, ...]] = []
+    pairs_out: List[Tuple[int, int]] = []
+
+    def emit(wnet: Tuple, path: List[Tuple[int, int]], pair) -> None:
+        if engine == "table":
+            nets_out.append(wnet)
+            paths_out.append(tuple(xy for p in path for xy in p))
+            pairs_out.append((pair.vertical, pair.horizontal))
+        else:
+            wire_objs.append(Wire.from_legs(wnet, [(path, pair)]))
 
     # --- row channels -----------------------------------------------------
     for r in range(rows):
@@ -243,11 +271,10 @@ def build_grid2d_layout(
                 y = chan_base + grouping.offset_of(t)
                 pair = grouping.layer_pair(t)
                 pa, pb = term(a, b, copy), term(b, a, copy)
-                lay.add_wire(
-                    Wire.from_legs(
-                        ((r, a), (r, b), f"row{side_id}", copy),
-                        [([pa, (pa[0], y), (pb[0], y), pb], pair)],
-                    )
+                emit(
+                    ((r, a), (r, b), f"row{side_id}", copy),
+                    [pa, (pa[0], y), (pb[0], y), pb],
+                    pair,
                 )
 
     # --- column channels ----------------------------------------------------
@@ -275,11 +302,46 @@ def build_grid2d_layout(
                 x = chan_base + grouping.offset_of(t)
                 pair = grouping.layer_pair(t)
                 pa, pb = vterm(a, b, copy), vterm(b, a, copy)
-                lay.add_wire(
-                    Wire.from_legs(
-                        ((a, c), (b, c), f"col{side_id}", copy),
-                        [([pa, (x, pa[1]), (x, pb[1]), pb], pair)],
-                    )
+                emit(
+                    ((a, c), (b, c), f"col{side_id}", copy),
+                    [pa, (x, pa[1]), (x, pb[1]), pb],
+                    pair,
                 )
 
+    lname = f"{name}-{rows}x{cols}-L{L}"
+    if engine == "table":
+        table = _doglegs_to_table(nets_out, paths_out, pairs_out)
+        lay = Layout(model=model, name=lname, nodes=nodes, table=table)
+    else:
+        lay = Layout(model=model, name=lname, nodes=nodes, wires=wire_objs)
     return Grid2DResult(layout=lay, graph=net, dims=dims)
+
+
+def _doglegs_to_table(
+    nets: List[Tuple],
+    paths: List[Tuple[int, ...]],
+    pairs: List[Tuple[int, int]],
+) -> WireTable:
+    """Columnar assembly of uniform 4-point dogleg wires: three alternating
+    axis-aligned segments per wire, layered by each wire's pair."""
+    m = len(nets)
+    if not m:
+        return WireTable.empty()
+    P = np.array(paths, dtype=np.int64)  # (m, 8): x0 y0 x1 y1 x2 y2 x3 y3
+    VH = np.array(pairs, dtype=np.int64)  # (m, 2): vertical, horizontal
+    segs = np.empty((m, 3, 5), dtype=np.int64)
+    for j in range(3):
+        x1, y1 = P[:, 2 * j], P[:, 2 * j + 1]
+        x2, y2 = P[:, 2 * j + 2], P[:, 2 * j + 3]
+        # axis-aligned, so per-coordinate min/max is endpoint ordering
+        segs[:, j, 0] = np.minimum(x1, x2)
+        segs[:, j, 1] = np.minimum(y1, y2)
+        segs[:, j, 2] = np.maximum(x1, x2)
+        segs[:, j, 3] = np.maximum(y1, y2)
+        segs[:, j, 4] = np.where(y1 == y2, VH[:, 1], VH[:, 0])
+    flat = segs.reshape(m * 3, 5)
+    return WireTable.from_segment_arrays(
+        nets,
+        np.arange(m + 1, dtype=np.int64) * 3,
+        flat[:, 0], flat[:, 1], flat[:, 2], flat[:, 3], flat[:, 4],
+    )

@@ -19,7 +19,7 @@ larger than can be materialised, with the two cross-checked in tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Literal, Sequence, Tuple
 
 from ..topology.bits import flip_bit
 from ..topology.graph import Graph
@@ -223,6 +223,7 @@ def build_grid_layout(
     L: int = 2,
     track_order: TrackOrder = "forward",
     recirculating: bool = False,
+    engine: Literal["table", "legacy"] = "table",
 ) -> GridLayoutResult:
     """Construct the full wire-level layout of the ``sum(ks)``-dimensional
     butterfly (as a swap-butterfly) under the ``L``-layer grid model.
@@ -232,11 +233,33 @@ def build_grid_layout(
     block holds all stages of its rows, feedback links are intra-block
     and the leading constants are untouched.  (In logical butterfly
     labels this matching is the ``phi_n``-twisted wrap; the *standard*
-    wrapped butterfly's wrap is a different, block-crossing matching.)"""
+    wrapped butterfly's wrap is a different, block-crossing matching.)
+
+    ``engine="table"`` (default) plans all blocks and channels as numpy
+    arrays and backs the layout with a columnar
+    :class:`~repro.layout.wiretable.WireTable`;  ``engine="legacy"`` is
+    the original object-per-wire builder, kept as the differential-
+    testing oracle.  Both produce identical layouts wire for wire, in
+    the same order."""
+    if engine not in ("table", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
     dims = grid_dims(ks, W, L, recirculating=recirculating)
     k1, k2 = dims.ks[0], dims.ks[1]
     sb = SwapButterfly.from_ks(dims.ks)
     model = thompson_model() if L == 2 else multilayer_model(L)
+    if engine == "table":
+        from .grid_table import build_grid_nodes, build_grid_table
+
+        lay = Layout(
+            model=model,
+            name=f"grid-B{dims.n}-L{L}",
+            nodes=build_grid_nodes(sb, dims),
+            table=build_grid_table(sb, dims, track_order, recirculating),
+        )
+        return GridLayoutResult(
+            layout=lay, sb=sb, dims=dims, track_order=track_order,
+            recirculating=recirculating,
+        )
     base_pair = base_layer_pair(L)
     lay = Layout(model=model, name=f"grid-B{dims.n}-L{L}")
 

@@ -1,0 +1,643 @@
+"""Vectorized (columnar) planner for the recursive grid layout scheme.
+
+Produces the exact same wire-level embedding as the object-per-wire path
+in :mod:`repro.layout.grid_scheme` — wire for wire, in the same order —
+but assembles the geometry as numpy arrays and emits a
+:class:`~repro.layout.wiretable.WireTable` directly.
+
+The construction mirrors the legacy builder category by category:
+
+* exchange boundaries: one horizontal ``straight`` run plus one 3-segment
+  ``cross`` wire per (block, local row);
+* composite boundaries: channel items (intra / out / in) are ranked by the
+  same ``(destination coordinate, row, kind, direction)`` key via a single
+  lexsort per boundary, giving every item its channel track;
+* level >= 3 stubs: pending feedthroughs ranked per block by
+  ``(destination grid row, stage, rank, role)`` exactly like the legacy
+  ``pending_feeds.sort``;
+* inter-block wires: out/in stubs are joined on the link id, grouped by
+  the channel key, and the three legs are fused with
+  :meth:`Wire.from_legs`' merge rule applied analytically — consecutive
+  collinear runs merge iff the channel group's layer equals the base
+  layer, which splits each channel category into a fixed-segment-count
+  "merged" and "unmerged" variant.
+
+Finally all categories are concatenated and permuted into the legacy
+emission order (blocks by id — boundaries by stage — items by rank, then
+channel groups in sorted key order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..topology.bits import level_swap_array
+from ..transform.swap_butterfly import ExchangeBoundary, SwapButterfly
+from .collinear import TrackOrder, track_assignment
+from .collinear_generic import left_edge_tracks
+from .geometry import Rect
+from .grid_scheme import GridDims, _column_union_graph
+from .tracks import TrackGrouping, base_layer_pair
+from .wiretable import WireTable
+
+__all__ = ["build_grid_nodes", "build_grid_table"]
+
+_KIND = ("sc", "ss")  # index = kind code; string sort order 'sc' < 'ss'
+_SLOT_OUT = (2, 1)  # by kind code (sc, ss); 'cross' shares slot 1
+_SLOT_IN = (4, 3)
+
+
+def build_grid_nodes(sb: SwapButterfly, dims: GridDims) -> Dict[Hashable, Rect]:
+    """Node rectangles of the full grid layout, in legacy insertion order
+    (blocks by id, stages major, local rows minor)."""
+    bd = dims.block
+    k2 = dims.ks[1]
+    gc = dims.grid_cols
+    R = bd.nrows
+    W = bd.W
+    nodes: Dict[Hashable, Rect] = {}
+    for bid in range(dims.grid_rows * gc):
+        ox = (bid & (gc - 1)) * dims.cell_w
+        oy = (bid >> k2) * dims.cell_h
+        row0 = bid << dims.ks[0]
+        for s in range(sb.n + 1):
+            x = bd.colx[s] + ox
+            for rr in range(R):
+                nodes[(row0 + rr, s)] = Rect(x, bd.row_y(rr) + oy, W, W)
+    return nodes
+
+
+def _pair_layers(L: int, horizontal: bool, group: np.ndarray):
+    """Vectorized :meth:`TrackGrouping.layer_pair`: per-group (vertical,
+    horizontal) layer arrays for a channel direction."""
+    g = group
+    if L % 2 == 0:
+        return 2 * g + 1, 2 * g + 2
+    if horizontal:
+        return np.where(g >= 1, 2 * g, 2), 2 * g + 1
+    return 2 * g + 2, 2 * g + 1
+
+
+class _Cat:
+    """One category of wires with a uniform per-wire segment count."""
+
+    __slots__ = ("nets", "segs", "keys")
+
+    def __init__(self, nets: List, segs: np.ndarray, keys: np.ndarray) -> None:
+        # segs: (nw, c, 5) int64; keys: (nw, 6) int64
+        self.nets = nets
+        self.segs = segs
+        self.keys = keys
+
+    def table(self) -> WireTable:
+        nw, c, _ = self.segs.shape
+        flat = self.segs.reshape(nw * c, 5)
+        return WireTable.from_segment_arrays(
+            self.nets,
+            np.arange(nw + 1, dtype=np.int64) * c,
+            flat[:, 0], flat[:, 1], flat[:, 2], flat[:, 3], flat[:, 4],
+        )
+
+
+def _hvh(x1, y1, tx, y2, x2, vl, hl) -> np.ndarray:
+    """Stack the ubiquitous H-V-H channel wire: ``(x1,y1)->(tx,y1)``,
+    vertical at ``tx``, ``(tx,y2)->(x2,y2)``.  Assumes ``x1 < tx < x2``
+    (channel tracks sit strictly between stage columns)."""
+    nw = len(tx)
+    segs = np.empty((nw, 3, 5), dtype=np.int64)
+    segs[:, 0, 0] = x1
+    segs[:, 0, 1] = y1
+    segs[:, 0, 2] = tx
+    segs[:, 0, 3] = y1
+    segs[:, 0, 4] = hl
+    segs[:, 1, 0] = tx
+    segs[:, 1, 1] = np.minimum(y1, y2)
+    segs[:, 1, 2] = tx
+    segs[:, 1, 3] = np.maximum(y1, y2)
+    segs[:, 1, 4] = vl
+    segs[:, 2, 0] = tx
+    segs[:, 2, 1] = y2
+    segs[:, 2, 2] = x2
+    segs[:, 2, 3] = y2
+    segs[:, 2, 4] = hl
+    return segs
+
+
+def build_grid_table(
+    sb: SwapButterfly,
+    dims: GridDims,
+    track_order: TrackOrder = "forward",
+    recirculating: bool = False,
+) -> WireTable:
+    """All wires of the grid layout as one :class:`WireTable`, ordered
+    exactly like the legacy builder's ``layout.wires`` list."""
+    bd = dims.block
+    ks = dims.ks
+    k1, k2 = ks[0], ks[1]
+    n = sb.n
+    R = bd.nrows
+    W = bd.W
+    gc, gr = dims.grid_cols, dims.grid_rows
+    NB = gr * gc
+    L = dims.L
+    base = base_layer_pair(L)
+    bv, bh = base.vertical, base.horizontal
+
+    bids = np.arange(NB, dtype=np.int64)
+    oxs = (bids & (gc - 1)) * dims.cell_w
+    oys = (bids >> k2) * dims.cell_h
+    B = np.repeat(bids, R)  # block of each (block, local row) pair
+    rr = np.tile(np.arange(R, dtype=np.int64), NB)
+    U = B * R + rr  # global row id
+    OX = np.repeat(oxs, R)
+    OY = np.repeat(oys, R)
+    rowy = bd.rows_base + rr * (W + 1)  # local row baseline
+
+    cats: List[_Cat] = []
+
+    def keys6(nw: int, *cols) -> np.ndarray:
+        k = np.zeros((nw, 6), dtype=np.int64)
+        for i, c in enumerate(cols):
+            k[:, i] = c
+        return k
+
+    def net_list(a, b, sa: int, sbb: int, kind) -> List:
+        """Nets ``((a, sa), (b, sbb), kind)``; ``kind`` is a string or a
+        per-wire code array into ``_KIND``."""
+        al, bl = a.tolist(), b.tolist()
+        if isinstance(kind, str):
+            return [((x, sa), (y, sbb), kind) for x, y in zip(al, bl)]
+        kl = kind.tolist()
+        return [
+            ((x, sa), (y, sbb), _KIND[kc]) for x, y, kc in zip(al, bl, kl)
+        ]
+
+    # stub accumulators (one row per inter-block link endpoint)
+    o_u: List[np.ndarray] = []
+    o_s: List[np.ndarray] = []
+    o_kc: List[np.ndarray] = []
+    o_lvl: List[np.ndarray] = []
+    o_bid: List[np.ndarray] = []
+    o_tgt: List[np.ndarray] = []
+    o_tx: List[np.ndarray] = []
+    o_oyu: List[np.ndarray] = []
+    o_fy: List[np.ndarray] = []
+    i_u: List[np.ndarray] = []
+    i_s: List[np.ndarray] = []
+    i_kc: List[np.ndarray] = []
+    i_bid: List[np.ndarray] = []
+    i_tx: List[np.ndarray] = []
+    i_iy: List[np.ndarray] = []
+    i_fy: List[np.ndarray] = []
+
+    # level >= 3 pending feedthroughs, ranked after the boundary loop
+    f_gkey: List[np.ndarray] = []
+    f_s: List[np.ndarray] = []
+    f_rank: List[np.ndarray] = []
+    f_role: List[np.ndarray] = []  # 0 = "in", 1 = "out" (string order)
+    f_bid: List[np.ndarray] = []
+    f_idx: List[np.ndarray] = []  # row into the out/in stub accumulators
+    f_nout = 0
+    f_nin = 0
+
+    # --- per-boundary channel wiring -----------------------------------
+    for s, boundary in enumerate(sb.boundaries):
+        cb = bd.chan_base(s)
+        re = bd.colx[s] + W
+        nl = bd.colx[s + 1]
+        if isinstance(boundary, ExchangeBoundary):
+            t = boundary.bit
+            nw = NB * R
+            # straight: one horizontal run at slot 0
+            segs = np.empty((nw, 1, 5), dtype=np.int64)
+            segs[:, 0, 0] = re + OX
+            segs[:, 0, 1] = rowy + OY
+            segs[:, 0, 2] = nl + OX
+            segs[:, 0, 3] = rowy + OY
+            segs[:, 0, 4] = bh
+            cats.append(
+                _Cat(
+                    net_list(U, U, s, s + 1, "straight"),
+                    segs,
+                    keys6(nw, 0, B, s, 2 * rr),
+                )
+            )
+            # cross: H-V-H through the boundary channel
+            v = U ^ (1 << t)
+            oyu = rowy + 1 + OY  # SLOT_OUT["cross"]
+            iyv = bd.rows_base + (rr ^ (1 << t)) * (W + 1) + 3 + OY
+            tx = cb + rr + OX
+            cats.append(
+                _Cat(
+                    net_list(U, v, s, s + 1, "cross"),
+                    _hvh(re + OX, oyu, tx, iyv, nl + OX, bv, bh),
+                    keys6(nw, 0, B, s, 2 * rr + 1),
+                )
+            )
+            continue
+
+        # composite boundary: rank the channel items per block
+        level = boundary.level
+        sig = level_swap_array(U, ks, level)
+        dest = sig >> k1
+
+        def okey(block: np.ndarray) -> np.ndarray:
+            return block & (gc - 1) if level == 2 else block >> k2
+
+        # out/intra items: two kinds per (block, row); in items: filtered
+        src_ss = sig  # sigma is an involution: sigma(sigma(u)) = u
+        src_sc = level_swap_array(U ^ 1, ks, level)
+        parts = []  # (bid, okey, rr, kindcode, dir, u, tgt, role)
+        for kc, tgt in ((0, sig ^ 1), (1, sig)):
+            parts.append((B, okey(dest), rr, kc, 0, U, tgt,
+                          np.where(dest == B, 0, 1)))
+        for kc, src in ((0, src_sc), (1, src_ss)):
+            m = (src >> k1) != B
+            parts.append((B[m], okey(src[m] >> k1), rr[m], kc, 1, src[m],
+                          U[m], 2))
+        Ib = np.concatenate([np.broadcast_to(np.asarray(p[0]), p[5].shape)
+                             for p in parts])
+        Iok = np.concatenate([p[1] for p in parts])
+        Irr = np.concatenate([p[2] for p in parts])
+        Ikc = np.concatenate(
+            [np.full(p[5].shape, p[3], dtype=np.int64) for p in parts]
+        )
+        Idir = np.concatenate(
+            [np.full(p[5].shape, p[4], dtype=np.int64) for p in parts]
+        )
+        Iu = np.concatenate([p[5] for p in parts])
+        Itgt = np.concatenate([p[6] for p in parts])
+        Irole = np.concatenate([
+            np.broadcast_to(np.asarray(p[7]), p[5].shape) for p in parts
+        ])
+        order = np.lexsort((Idir, Ikc, Irr, Iok, Ib))
+        cw = bd.channel_widths[s]
+        ranks = np.empty(len(order), dtype=np.int64)
+        ranks[order] = np.arange(len(order), dtype=np.int64) - Ib[order] * cw
+        tx = cb + ranks
+
+        lrr = Iu & (R - 1)  # local row of the item's in-block terminal
+        ltg = Itgt & (R - 1)
+        oyu = bd.rows_base + lrr * (W + 1) + np.where(Ikc == 1, 1, 2)
+        iyt = bd.rows_base + ltg * (W + 1) + np.where(Ikc == 1, 3, 4)
+
+        m = Irole == 0  # intra
+        if m.any():
+            iox = oxs[Ib[m]]
+            ioy = oys[Ib[m]]
+            cats.append(
+                _Cat(
+                    net_list(Iu[m], Itgt[m], s, s + 1, Ikc[m]),
+                    _hvh(re + iox, oyu[m] + ioy, tx[m] + iox,
+                         iyt[m] + ioy, nl + iox, bv, bh),
+                    keys6(int(m.sum()), 0, Ib[m], s, ranks[m]),
+                )
+            )
+        mo = Irole == 1
+        mi = Irole == 2
+        if level == 2:
+            o_u.append(Iu[mo])
+            o_s.append(np.full(int(mo.sum()), s, dtype=np.int64))
+            o_kc.append(Ikc[mo])
+            o_lvl.append(np.full(int(mo.sum()), 2, dtype=np.int64))
+            o_bid.append(Ib[mo])
+            o_tgt.append(Itgt[mo])
+            o_tx.append(tx[mo])
+            o_oyu.append(oyu[mo])
+            o_fy.append(np.full(int(mo.sum()), -1, dtype=np.int64))
+            i_u.append(Iu[mi])
+            i_s.append(np.full(int(mi.sum()), s, dtype=np.int64))
+            i_kc.append(Ikc[mi])
+            i_bid.append(Ib[mi])
+            i_tx.append(tx[mi])
+            i_iy.append(iyt[mi])
+            i_fy.append(np.full(int(mi.sum()), -1, dtype=np.int64))
+        else:
+            # defer: feed y assigned once all boundaries are ranked
+            other_o = level_swap_array(Iu[mo], ks, level) >> k1
+            other_i = Iu[mi] >> k1
+            o_u.append(Iu[mo])
+            o_s.append(np.full(int(mo.sum()), s, dtype=np.int64))
+            o_kc.append(Ikc[mo])
+            o_lvl.append(np.full(int(mo.sum()), level, dtype=np.int64))
+            o_bid.append(Ib[mo])
+            o_tgt.append(Itgt[mo])
+            o_tx.append(tx[mo])
+            o_oyu.append(oyu[mo])
+            o_fy.append(np.full(int(mo.sum()), -1, dtype=np.int64))
+            i_u.append(Iu[mi])
+            i_s.append(np.full(int(mi.sum()), s, dtype=np.int64))
+            i_kc.append(Ikc[mi])
+            i_bid.append(Ib[mi])
+            i_tx.append(tx[mi])
+            i_iy.append(iyt[mi])
+            i_fy.append(np.full(int(mi.sum()), -1, dtype=np.int64))
+            f_gkey.append(other_o >> k2)
+            f_s.append(np.full(int(mo.sum()), s, dtype=np.int64))
+            f_rank.append(ranks[mo])
+            f_role.append(np.full(int(mo.sum()), 1, dtype=np.int64))
+            f_bid.append(Ib[mo])
+            f_idx.append(f_nout + np.arange(int(mo.sum()), dtype=np.int64))
+            f_nout += int(mo.sum())
+            f_gkey.append(other_i >> k2)
+            f_s.append(np.full(int(mi.sum()), s, dtype=np.int64))
+            f_rank.append(ranks[mi])
+            f_role.append(np.full(int(mi.sum()), 0, dtype=np.int64))
+            f_bid.append(Ib[mi])
+            f_idx.append(-1 - (f_nin + np.arange(int(mi.sum()),
+                                                 dtype=np.int64)))
+            f_nin += int(mi.sum())
+
+    def cat_rows(parts: List[np.ndarray]) -> np.ndarray:
+        return (np.concatenate(parts) if parts
+                else np.empty(0, dtype=np.int64))
+
+    Ou = cat_rows(o_u)
+    Os = cat_rows(o_s)
+    Okc = cat_rows(o_kc)
+    Olvl = cat_rows(o_lvl)
+    Obid = cat_rows(o_bid)
+    Otgt = cat_rows(o_tgt)
+    Otx = cat_rows(o_tx)
+    Ooyu = cat_rows(o_oyu)
+    Ofy = cat_rows(o_fy)
+    Iu_ = cat_rows(i_u)
+    Is_ = cat_rows(i_s)
+    Ikc_ = cat_rows(i_kc)
+    Ibid_ = cat_rows(i_bid)
+    Itx_ = cat_rows(i_tx)
+    Iiy_ = cat_rows(i_iy)
+    Ify_ = cat_rows(i_fy)
+
+    # --- feedthrough rows (levels >= 3), ranked like pending_feeds.sort --
+    if f_gkey:
+        Fg = np.concatenate(f_gkey)
+        Fs = np.concatenate(f_s)
+        Fr = np.concatenate(f_rank)
+        Fro = np.concatenate(f_role)
+        Fb = np.concatenate(f_bid)
+        Fi = np.concatenate(f_idx)
+        order = np.lexsort((Fro, Fr, Fs, Fg, Fb))
+        fc = bd.feed_count
+        feed_base = R if recirculating else 0
+        fy = np.empty(len(order), dtype=np.int64)
+        fy[order] = (feed_base
+                     + np.arange(len(order), dtype=np.int64)
+                     - Fb[order] * fc)
+        # scatter back into the stub tables: Fi >= 0 indexes the l>=3 rows
+        # of the out accumulator (in append order), -1 - Fi the in rows
+        mo = Fi >= 0
+        out_pos = np.flatnonzero(Olvl >= 3)
+        Ofy[out_pos[Fi[mo]]] = fy[mo]
+        lvl_of_s = np.array(
+            [getattr(b, "level", 0) for b in sb.boundaries], dtype=np.int64
+        )
+        in_pos = np.flatnonzero(lvl_of_s[Is_] >= 3)
+        Ify_[in_pos[-1 - Fi[~mo]]] = fy[~mo]
+
+    # --- feedback wires (recirculating) ---------------------------------
+    if recirculating:
+        nw = NB * R
+        yo = rowy + 1 + OY
+        yi = rowy + 3 + OY
+        rx = bd.colx[n] + W + 1 + rr + OX
+        lx = 1 + rr + OX
+        fy = rr + OY
+        x0 = bd.colx[n] + W + OX
+        x5 = bd.colx[0] + OX
+        segs = np.empty((nw, 5, 5), dtype=np.int64)
+        segs[:, 0] = np.stack(
+            [x0, yo, rx, yo, np.full(nw, bh, dtype=np.int64)], axis=1)
+        segs[:, 1] = np.stack(
+            [rx, fy, rx, yo, np.full(nw, bv, dtype=np.int64)], axis=1)
+        segs[:, 2] = np.stack(
+            [lx, fy, rx, fy, np.full(nw, bh, dtype=np.int64)], axis=1)
+        segs[:, 3] = np.stack(
+            [lx, fy, lx, yi, np.full(nw, bv, dtype=np.int64)], axis=1)
+        segs[:, 4] = np.stack(
+            [lx, yi, x5, yi, np.full(nw, bh, dtype=np.int64)], axis=1)
+        cats.append(
+            _Cat(net_list(U, U, n, 0, "feedback"), segs,
+                 keys6(nw, 0, B, n, rr))
+        )
+
+    # --- inter-block wires ----------------------------------------------
+    if len(Ou):
+        oo = np.lexsort((Okc, Os, Ou))
+        io = np.lexsort((Ikc_, Is_, Iu_))
+        if not (np.array_equal(Ou[oo], Iu_[io])
+                and np.array_equal(Os[oo], Is_[io])
+                and np.array_equal(Okc[oo], Ikc_[io])):  # pragma: no cover
+            raise AssertionError("mismatched inter-block stubs")
+        u, s_, kc = Ou[oo], Os[oo], Okc[oo]
+        lvl = Olvl[oo]
+        sbid, dbid = Obid[oo], Ibid_[io]
+        tgt = Otgt[oo]
+        txo, oyu, fyo = Otx[oo], Ooyu[oo], Ofy[oo]
+        txi, iy, fyi = Itx_[io], Iiy_[io], Ify_[io]
+
+        lv2 = lvl == 2
+        sc = sbid & (gc - 1)
+        dc = dbid & (gc - 1)
+        sg = sbid >> k2
+        dg = dbid >> k2
+        K1 = np.where(lv2, 1, 0)
+        K2 = np.where(lv2, sg, sc)
+        K3 = np.where(lv2, np.minimum(sc, dc), np.minimum(sg, dg))
+        K4 = np.where(lv2, np.maximum(sc, dc), np.maximum(sg, dg))
+        gorder = np.lexsort((kc, s_, u, K4, K3, K2, K1))
+        gk = np.stack([K1, K2, K3, K4], axis=1)[gorder]
+        newg = np.empty(len(gorder), dtype=bool)
+        newg[0] = True
+        newg[1:] = (gk[1:] != gk[:-1]).any(axis=1)
+        gid = np.cumsum(newg) - 1
+        starts = np.flatnonzero(newg)
+        copy = np.empty(len(gorder), dtype=np.int64)
+        copy[gorder] = (np.arange(len(gorder), dtype=np.int64)
+                        - starts[gid])
+
+        # tracks
+        track = np.empty(len(u), dtype=np.int64)
+        assign_row = track_assignment(gc, track_order) if gc >= 2 else {}
+        row_base = np.zeros((gc, gc), dtype=np.int64)
+        for (a, b), t in assign_row.items():
+            row_base[a, b] = t
+        mrow = lv2
+        track[mrow] = (row_base[K3[mrow], K4[mrow]] * dims.mult_row
+                       + copy[mrow])
+        mcol = ~lv2
+        if mcol.any():
+            if len(ks) == 3:
+                assign_col = (track_assignment(gr, track_order)
+                              if gr >= 2 else {})
+                col_base = np.zeros((gr, gr), dtype=np.int64)
+                for (a, b), t in assign_col.items():
+                    col_base[a, b] = t
+                track[mcol] = (col_base[K3[mcol], K4[mcol]] * dims.mult_col
+                               + copy[mcol])
+            else:
+                acg = left_edge_tracks(_column_union_graph(ks), range(gr))
+                track[mcol] = np.array(
+                    [acg[(a, b, c)] for a, b, c in
+                     zip(K3[mcol].tolist(), K4[mcol].tolist(),
+                         copy[mcol].tolist())],
+                    dtype=np.int64,
+                )
+
+        vrow = tgt  # the out item's target row IS sigma(u) (^1 for sc)
+        soxa, soya = oxs[sbid], oys[sbid]
+        doxa, doya = oxs[dbid], oys[dbid]
+        colx_arr = np.array(bd.colx, dtype=np.int64)
+
+        def inter_keys(m: np.ndarray) -> np.ndarray:
+            nw = int(m.sum())
+            return keys6(nw, 1, K1[m], K2[m], K3[m], K4[m], copy[m])
+
+        # row channels (level 2)
+        if mrow.any():
+            gh = TrackGrouping(L=L, horizontal=True,
+                               total_tracks=dims.tracks_row)
+            off = track[mrow] % gh.physical_tracks
+            pv, ph = _pair_layers(L, True, track[mrow] // gh.physical_tracks)
+            ty = sg[mrow] * dims.cell_h + bd.height + 1 + off
+            o0x = colx_arr[s_[mrow]] + W + soxa[mrow]
+            o1x = txo[mrow] + soxa[mrow]
+            oy1 = oyu[mrow] + soya[mrow]
+            hy = bd.height + soya[mrow]  # == height + doya (same grid row)
+            i0x = txi[mrow] + doxa[mrow]
+            iy1 = iy[mrow] + doya[mrow]
+            i2x = colx_arr[s_[mrow] + 1] + doxa[mrow]
+            hx1 = np.minimum(o1x, i0x)
+            hx2 = np.maximum(o1x, i0x)
+            merged = pv == bv
+            for mm, nseg in ((merged, 5), (~merged, 7)):
+                if not mm.any():
+                    continue
+                nw = int(mm.sum())
+                segs = np.empty((nw, nseg, 5), dtype=np.int64)
+                segs[:, 0] = np.stack(
+                    [o0x[mm], oy1[mm], o1x[mm], oy1[mm],
+                     np.full(nw, bh, dtype=np.int64)], axis=1)
+                j = 1
+                if nseg == 5:
+                    segs[:, j] = np.stack(
+                        [o1x[mm], oy1[mm], o1x[mm], ty[mm],
+                         np.full(nw, bv, dtype=np.int64)], axis=1)
+                    j += 1
+                else:
+                    segs[:, j] = np.stack(
+                        [o1x[mm], oy1[mm], o1x[mm], hy[mm],
+                         np.full(nw, bv, dtype=np.int64)], axis=1)
+                    segs[:, j + 1] = np.stack(
+                        [o1x[mm], hy[mm], o1x[mm], ty[mm], pv[mm]], axis=1)
+                    j += 2
+                segs[:, j] = np.stack(
+                    [hx1[mm], ty[mm], hx2[mm], ty[mm], ph[mm]], axis=1)
+                j += 1
+                if nseg == 5:
+                    segs[:, j] = np.stack(
+                        [i0x[mm], iy1[mm], i0x[mm], ty[mm],
+                         np.full(nw, bv, dtype=np.int64)], axis=1)
+                    j += 1
+                else:
+                    segs[:, j] = np.stack(
+                        [i0x[mm], hy[mm], i0x[mm], ty[mm], pv[mm]], axis=1)
+                    segs[:, j + 1] = np.stack(
+                        [i0x[mm], iy1[mm], i0x[mm], hy[mm],
+                         np.full(nw, bv, dtype=np.int64)], axis=1)
+                    j += 2
+                segs[:, j] = np.stack(
+                    [i0x[mm], iy1[mm], i2x[mm], iy1[mm],
+                     np.full(nw, bh, dtype=np.int64)], axis=1)
+                sel = np.flatnonzero(mrow)[mm]
+                nets = [
+                    ((int(a), int(b)), (int(c), int(b) + 1), _KIND[int(k)])
+                    for a, b, c, k in zip(u[sel], s_[sel], vrow[sel],
+                                          kc[sel])
+                ]
+                cats.append(_Cat(nets, segs, inter_keys(mrow)[mm]))
+
+        # column channels (levels >= 3)
+        if mcol.any():
+            gv = TrackGrouping(L=L, horizontal=False,
+                               total_tracks=dims.tracks_col)
+            off = track[mcol] % gv.physical_tracks
+            pv, ph = _pair_layers(L, False,
+                                  track[mcol] // gv.physical_tracks)
+            txx = sc[mcol] * dims.cell_w + bd.width + 1 + off
+            o0x = colx_arr[s_[mcol]] + W + soxa[mcol]
+            o1x = txo[mcol] + soxa[mcol]
+            oy1 = oyu[mcol] + soya[mcol]
+            fyA = fyo[mcol] + soya[mcol]
+            bwx = bd.width + soxa[mcol]  # == width + doxa (same grid col)
+            i1x = txi[mcol] + doxa[mcol]
+            fyB = fyi[mcol] + doya[mcol]
+            iy1 = iy[mcol] + doya[mcol]
+            i3x = colx_arr[s_[mcol] + 1] + doxa[mcol]
+            merged = ph == bh
+            for mm, nseg in ((merged, 7), (~merged, 9)):
+                if not mm.any():
+                    continue
+                nw = int(mm.sum())
+                segs = np.empty((nw, nseg, 5), dtype=np.int64)
+                segs[:, 0] = np.stack(
+                    [o0x[mm], oy1[mm], o1x[mm], oy1[mm],
+                     np.full(nw, bh, dtype=np.int64)], axis=1)
+                segs[:, 1] = np.stack(
+                    [o1x[mm], fyA[mm], o1x[mm], oy1[mm],
+                     np.full(nw, bv, dtype=np.int64)], axis=1)
+                j = 2
+                if nseg == 7:
+                    segs[:, j] = np.stack(
+                        [o1x[mm], fyA[mm], txx[mm], fyA[mm],
+                         np.full(nw, bh, dtype=np.int64)], axis=1)
+                    j += 1
+                else:
+                    segs[:, j] = np.stack(
+                        [o1x[mm], fyA[mm], bwx[mm], fyA[mm],
+                         np.full(nw, bh, dtype=np.int64)], axis=1)
+                    segs[:, j + 1] = np.stack(
+                        [bwx[mm], fyA[mm], txx[mm], fyA[mm], ph[mm]],
+                        axis=1)
+                    j += 2
+                segs[:, j] = np.stack(
+                    [txx[mm], np.minimum(fyA[mm], fyB[mm]), txx[mm],
+                     np.maximum(fyA[mm], fyB[mm]), pv[mm]], axis=1)
+                j += 1
+                if nseg == 7:
+                    segs[:, j] = np.stack(
+                        [i1x[mm], fyB[mm], txx[mm], fyB[mm], ph[mm]],
+                        axis=1)
+                    j += 1
+                else:
+                    segs[:, j] = np.stack(
+                        [bwx[mm], fyB[mm], txx[mm], fyB[mm], ph[mm]],
+                        axis=1)
+                    segs[:, j + 1] = np.stack(
+                        [i1x[mm], fyB[mm], bwx[mm], fyB[mm],
+                         np.full(nw, bh, dtype=np.int64)], axis=1)
+                    j += 2
+                segs[:, j] = np.stack(
+                    [i1x[mm], fyB[mm], i1x[mm], iy1[mm],
+                     np.full(nw, bv, dtype=np.int64)], axis=1)
+                segs[:, j + 1] = np.stack(
+                    [i1x[mm], iy1[mm], i3x[mm], iy1[mm],
+                     np.full(nw, bh, dtype=np.int64)], axis=1)
+                sel = np.flatnonzero(mcol)[mm]
+                nets = [
+                    ((int(a), int(b)), (int(c), int(b) + 1), _KIND[int(k)])
+                    for a, b, c, k in zip(u[sel], s_[sel], vrow[sel],
+                                          kc[sel])
+                ]
+                cats.append(_Cat(nets, segs, inter_keys(mcol)[mm]))
+
+    # --- concatenate and order like the legacy emitter -------------------
+    table = WireTable.concat([c.table() for c in cats])
+    keys = np.concatenate([c.keys for c in cats], axis=0)
+    order = np.lexsort(
+        (keys[:, 5], keys[:, 4], keys[:, 3], keys[:, 2], keys[:, 1],
+         keys[:, 0])
+    )
+    return table.permuted(order)

@@ -10,7 +10,7 @@ rule sets used in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Tuple
 
 from .geometry import Rect, Wire
@@ -75,18 +75,66 @@ def multilayer_model(L: int) -> LayoutModel:
     return LayoutModel(name=f"multilayer-L{L}", num_layers=L, v_layers=v, h_layers=h)
 
 
-@dataclass
 class Layout:
     """A concrete layout: placed nodes plus routed wires.
 
     Node ids are the graph's node ids (ints or tuples).  The layout does
     not interpret them; validators compare against a target graph.
+
+    Wires are stored either as a list of :class:`Wire` objects or as a
+    columnar :class:`~repro.layout.wiretable.WireTable` (what the
+    vectorized builders emit).  The two are interchangeable: accessing
+    ``.wires`` on a table-backed layout materialises objects lazily (and
+    drops the table, since the returned list may be mutated in place),
+    while ``wire_table()`` hands the native table to vectorized consumers
+    without any object churn.
     """
 
-    model: LayoutModel
-    name: str = ""
-    nodes: Dict[Hashable, Rect] = field(default_factory=dict)
-    wires: List[Wire] = field(default_factory=list)
+    def __init__(
+        self,
+        model: LayoutModel,
+        name: str = "",
+        nodes: Dict[Hashable, Rect] = None,
+        wires: List[Wire] = None,
+        table=None,
+    ) -> None:
+        if wires is not None and table is not None:
+            raise ValueError("pass either wires or table, not both")
+        self.model = model
+        self.name = name
+        self.nodes: Dict[Hashable, Rect] = {} if nodes is None else nodes
+        self._wires: List[Wire] = (
+            wires if wires is not None else ([] if table is None else None)
+        )
+        self._table = table
+
+    @property
+    def wires(self) -> List[Wire]:
+        if self._wires is None:
+            self._wires = self._table.to_wires()
+            # The list may be mutated by callers; the table would go stale.
+            self._table = None
+        return self._wires
+
+    @wires.setter
+    def wires(self, value: List[Wire]) -> None:
+        self._wires = value
+        self._table = None
+
+    @property
+    def has_native_table(self) -> bool:
+        """True while the wires still live only in columnar form."""
+        return self._table is not None
+
+    def wire_table(self):
+        """The layout's wires as a :class:`WireTable` — the native table
+        when one is backing this layout, else a fresh conversion of the
+        (possibly mutated) object wires."""
+        if self._table is not None:
+            return self._table
+        from .wiretable import WireTable
+
+        return WireTable.from_wires(self.wires)
 
     def add_node(self, node: Hashable, rect: Rect) -> None:
         if node in self.nodes:
@@ -107,10 +155,16 @@ class Layout:
         for r in self.nodes.values():
             xs.extend((r.x, r.x2))
             ys.extend((r.y, r.y2))
-        for w in self.wires:
-            for s in w.segments:
-                xs.extend((s.x1, s.x2))
-                ys.extend((s.y1, s.y2))
+        if self._table is not None:
+            box = self._table.bounding_box()
+            if box is not None:
+                xs.extend((int(box[0]), int(box[2])))
+                ys.extend((int(box[1]), int(box[3])))
+        else:
+            for w in self.wires:
+                for s in w.segments:
+                    xs.extend((s.x1, s.x2))
+                    ys.extend((s.y1, s.y2))
         if not xs:
             raise ValueError("empty layout")
         return (min(xs), min(ys), max(xs), max(ys))
@@ -135,25 +189,40 @@ class Layout:
         return self.area * self.model.num_layers
 
     def max_wire_length(self) -> int:
+        if self._table is not None:
+            return self._table.max_wire_length()
         return max((w.length for w in self.wires), default=0)
 
     def total_wire_length(self) -> int:
+        if self._table is not None:
+            return self._table.total_wire_length()
         return sum(w.length for w in self.wires)
 
     def num_vias(self) -> int:
+        if self._table is not None:
+            return self._table.num_vias()
         return sum(len(w.vias()) for w in self.wires)
 
     def layers_used(self) -> List[int]:
+        if self._table is not None:
+            return self._table.layers_used()
         return sorted({s.layer for w in self.wires for s in w.segments})
 
     def segment_count(self) -> int:
+        if self._table is not None:
+            return self._table.num_segments
         return sum(len(w.segments) for w in self.wires)
+
+    def num_wires(self) -> int:
+        if self._table is not None:
+            return self._table.num_wires
+        return len(self.wires)
 
     def summary(self) -> Dict[str, int]:
         """One-stop metrics dict used by benches and EXPERIMENTS.md."""
         return {
             "nodes": len(self.nodes),
-            "wires": len(self.wires),
+            "wires": self.num_wires(),
             "segments": self.segment_count(),
             "width": self.width,
             "height": self.height,

@@ -18,6 +18,17 @@ Sections 3.1 and 4.1 of the paper:
 
 All checks are exact but use sorted-interval indexes so that layouts with
 hundreds of thousands of segments validate in seconds.
+
+Two implementations of the same rule set live here:
+
+* :func:`validate_layout` — the default — runs every pass as numpy
+  sort + running-maximum sweeps over the layout's
+  :class:`~repro.layout.wiretable.WireTable`, falling back to exact
+  Python enumeration only on the (normally empty) violating groups.
+* :func:`validate_layout_legacy` — the original object-per-wire checker,
+  kept verbatim as the differential-testing oracle
+  (``tests/test_layout_vectorized.py`` pins the two to identical
+  verdicts on both valid and mutated layouts).
 """
 
 from __future__ import annotations
@@ -33,7 +44,12 @@ from ..topology.graph import Graph
 from .geometry import Segment, Wire
 from .model import Layout
 
-__all__ = ["ValidationReport", "validate_layout"]
+__all__ = [
+    "ValidationReport",
+    "validate_layout",
+    "validate_layout_legacy",
+    "validate_table",
+]
 
 MAX_ERRORS_KEPT = 20
 
@@ -194,13 +210,63 @@ def _check_contiguity_and_terminals(layout: Layout, rep: ValidationReport) -> No
                 )
 
 
-def _check_realizes_graph(layout: Layout, graph: Graph, rep: ValidationReport) -> None:
+def _realizes_graph_fast(nets, placed, graph: Graph) -> bool:
+    """Vectorized edge-multiset comparison for purely array-staged graphs
+    with uniform int-tuple (or plain int) nodes.  Returns True only when
+    the layout provably realizes the graph — any mismatch, unsupported
+    net shape, or partially materialised graph falls back to the exact
+    object-level path (which regenerates the legacy messages)."""
+    if graph._staged_arrays() is None:
+        return False
+    try:
+        edges, counts = graph.to_edge_array()
+    except ValueError:
+        return False
+    k = edges.shape[2] if edges.ndim == 3 else 0
+    kk = k if k else 1
+    try:
+        if k:
+            flat = np.array([n[0] + n[1] for n in nets], dtype=np.int64)
+        else:
+            flat = np.array([(n[0], n[1]) for n in nets], dtype=np.int64)
+    except (TypeError, ValueError):
+        return False
+    if flat.ndim != 2 or flat.shape != (len(nets), 2 * kk):
+        return False
+    a, b = flat[:, :kk], flat[:, kk:]
+    flip = np.zeros(len(flat), dtype=bool)
+    decided = np.zeros(len(flat), dtype=bool)
+    for j in range(kk):
+        less = b[:, j] < a[:, j]
+        flip |= less & ~decided
+        decided |= less | (b[:, j] > a[:, j])
+    lo = np.where(flip[:, None], b, a)
+    hi = np.where(flip[:, None], a, b)
+    uniq, agg = Graph._aggregate_rows(
+        np.concatenate([lo, hi], axis=1),
+        np.ones(len(flat), dtype=np.int64),
+    )
+    want_rows = edges.reshape(len(counts), 2 * kk)
+    if uniq.shape != want_rows.shape or not (
+        np.array_equal(uniq, want_rows) and np.array_equal(agg, counts)
+    ):
+        return False
+    # a purely staged graph has no isolated nodes, so the edge endpoints
+    # are exactly its node set
+    gnodes = np.unique(want_rows.reshape(-1, kk), axis=0)
+    if k:
+        return all(t in placed for t in map(tuple, gnodes.tolist()))
+    return all(x in placed for x in gnodes[:, 0].tolist())
+
+
+def _check_realizes_graph(nets, placed, graph: Graph, rep: ValidationReport) -> None:
     rep.checks_run.append("realizes-graph")
+    if _realizes_graph_fast(nets, placed, graph):
+        return
     want = graph.edge_multiset()
     got: Counter = Counter()
-    for w in layout.wires:
-        u, v = w.net[0], w.net[1]
-        key = (u, v) if (u, v) in want or (v, u) not in want else (v, u)
+    for net in nets:
+        u, v = net[0], net[1]
         # canonicalise like Graph does
         got[_canon_edge(u, v)] += 1
     want_c = Counter({_canon_edge(u, v): c for (u, v), c in want.items()})
@@ -211,7 +277,6 @@ def _check_realizes_graph(layout: Layout, graph: Graph, rep: ValidationReport) -
             rep._add(f"graph edge {e} x{c} has no wire")
         for e, c in list(extra.items())[:5]:
             rep._add(f"wire {e} x{c} has no graph edge")
-    placed = set(layout.nodes)
     missing_nodes = [n for n in graph.nodes() if n not in placed]
     for n in missing_nodes[:5]:
         rep._add(f"graph node {n!r} not placed")
@@ -315,9 +380,9 @@ def _covers_strict_interior(w: Wire, layer: int, point: Tuple[int, int]) -> bool
     return False
 
 
-def _check_nodes_disjoint(layout: Layout, rep: ValidationReport) -> None:
-    rep.checks_run.append("nodes-disjoint")
-    items = sorted(layout.nodes.items(), key=lambda kv: (kv[1].x, kv[1].y))
+def _nodes_disjoint_sweep(nodes, rep: ValidationReport) -> None:
+    """Exact pairwise node-overlap sweep (shared by both validators)."""
+    items = sorted(nodes.items(), key=lambda kv: (kv[1].x, kv[1].y))
     active: List[Tuple[Hashable, object]] = []
     for node, r in items:
         still = []
@@ -329,6 +394,11 @@ def _check_nodes_disjoint(layout: Layout, rep: ValidationReport) -> None:
                 rep._add(f"nodes {node!r} and {onode!r} overlap")
         active = still
         active.append((node, r))
+
+
+def _check_nodes_disjoint(layout: Layout, rep: ValidationReport) -> None:
+    rep.checks_run.append("nodes-disjoint")
+    _nodes_disjoint_sweep(layout.nodes, rep)
 
 
 class _NodeBands:
@@ -410,18 +480,18 @@ def _check_terminals_distinct(layout: Layout, rep: ValidationReport) -> None:
 
 
 # ---------------------------------------------------------------------------
-# entry point
+# entry points
 # ---------------------------------------------------------------------------
 
 
-def validate_layout(
+def validate_layout_legacy(
     layout: Layout,
     graph: Optional[Graph] = None,
     check_nodes: bool = True,
     check_vias: bool = True,
 ) -> ValidationReport:
-    """Run the full rule set; returns a report (``.raise_if_failed()`` to
-    assert)."""
+    """The original object-per-wire checker, kept as the differential
+    oracle for :func:`validate_layout`."""
     rep = ValidationReport(ok=True)
     _check_layer_discipline(layout, rep)
     _check_contiguity_and_terminals(layout, rep)
@@ -439,5 +509,574 @@ def validate_layout(
         _check_nodes_disjoint(layout, rep)
         _check_wires_avoid_nodes(layout, rep)
     if graph is not None:
-        _check_realizes_graph(layout, graph, rep)
+        _check_realizes_graph(
+            [w.net for w in layout.wires], set(layout.nodes), graph, rep
+        )
     return rep
+
+
+# ---------------------------------------------------------------------------
+# vectorized checks over a WireTable
+# ---------------------------------------------------------------------------
+#
+# Every `_vt_*` function below enforces the same rule as its object-level
+# counterpart above, as a numpy sweep.  The shared pattern: sort segments
+# (or via columns) into groups, shift each group's coordinates into a
+# disjoint numeric band, and one running maximum finds every element that
+# undercuts an earlier extent in its group.  Exact Python enumeration runs
+# only over the flagged groups, so valid layouts never leave numpy.
+
+
+def _bulk(rep: ValidationReport, count: int, messages) -> None:
+    """Register ``count`` errors, materialising only as many messages as
+    the report still keeps (formatting is the expensive part)."""
+    if count <= 0:
+        return
+    budget = min(MAX_ERRORS_KEPT - len(rep.errors), count)
+    taken = 0
+    for msg in messages:
+        if taken >= budget:
+            break
+        rep._add(msg)
+        taken += 1
+    rep.num_errors += count - taken
+    rep.ok = False
+
+
+def _vt_layer_discipline(t, model, rep: ValidationReport) -> None:
+    rep.checks_run.append("layer-discipline")
+    if t.num_segments == 0:
+        return
+    L = model.num_layers
+    over = t.layer > L
+    horiz = t.is_horizontal
+    h_ok = np.isin(t.layer, np.asarray(model.h_layers, dtype=np.int64))
+    v_ok = np.isin(t.layer, np.asarray(model.v_layers, dtype=np.int64))
+    bad_axis = np.where(horiz, ~h_ok, ~v_ok)
+    count = int(over.sum()) + int(bad_axis.sum())
+    if not count:
+        return
+    w_of = t.wire_of
+
+    def msgs():
+        for i in np.flatnonzero(over | bad_axis).tolist():
+            net = t.nets[int(w_of[i])]
+            layer = int(t.layer[i])
+            if over[i]:
+                yield f"wire {net}: segment on layer {layer} > L={L}"
+            if bad_axis[i]:
+                yield (
+                    f"wire {net}: {'H' if horiz[i] else 'V'} segment on "
+                    f"layer {layer} not permitted by model {model.name}"
+                )
+
+    _bulk(rep, count, msgs())
+
+
+def _vt_contiguity_terminals(t, nodes, rep: ValidationReport) -> None:
+    rep.checks_run.append("contiguity-terminals")
+    nw = t.num_wires
+    if nw == 0:
+        return
+    paths = t.paths()
+    sx = paths.px[paths.pt_indptr[:-1]]
+    sy = paths.py[paths.pt_indptr[:-1]]
+    ex = paths.px[paths.pt_indptr[1:] - 1]
+    ey = paths.py[paths.pt_indptr[1:] - 1]
+    keys = list(nodes.keys())
+    nid = {k: i for i, k in enumerate(keys)}
+    ui = np.fromiter((nid.get(net[0], -1) for net in t.nets), np.int64, nw)
+    vi = np.fromiter((nid.get(net[1], -1) for net in t.nets), np.int64, nw)
+    if keys:
+        rx = np.fromiter((r.x for r in nodes.values()), np.int64, len(keys))
+        ry = np.fromiter((r.y for r in nodes.values()), np.int64, len(keys))
+        rx2 = np.fromiter((r.x2 for r in nodes.values()), np.int64, len(keys))
+        ry2 = np.fromiter((r.y2 for r in nodes.values()), np.int64, len(keys))
+
+        def on_bd(px_, py_, ridx):
+            has = ridx >= 0
+            r = np.where(has, ridx, 0)
+            inb = (px_ >= rx[r]) & (px_ <= rx2[r]) & (py_ >= ry[r]) & (py_ <= ry2[r])
+            strict = (px_ > rx[r]) & (px_ < rx2[r]) & (py_ > ry[r]) & (py_ < ry2[r])
+            return has & inb & ~strict
+
+        s_ok = on_bd(sx, sy, ui)
+        e_ok = on_bd(ex, ey, vi)
+    else:
+        s_ok = np.zeros(nw, dtype=bool)
+        e_ok = np.zeros(nw, dtype=bool)
+    good = ~paths.bad
+    s_bad = good & ~s_ok
+    e_bad = good & ~e_ok
+    count = int(paths.bad.sum()) + int(s_bad.sum()) + int(e_bad.sum())
+    if not count:
+        return
+
+    def msgs():
+        for wi in np.flatnonzero(paths.bad | s_bad | e_bad).tolist():
+            net = t.nets[wi]
+            if paths.bad[wi]:
+                j = int(paths.bad_at[wi])
+                if j == 0:
+                    yield f"wire {net}: segments 0/1 not contiguous"
+                else:
+                    yield f"wire {net}: segment {j} not contiguous with path"
+                continue
+            ends = (
+                ("start", s_bad[wi], (int(sx[wi]), int(sy[wi])), net[0]),
+                ("end", e_bad[wi], (int(ex[wi]), int(ey[wi])), net[1]),
+            )
+            for which, bad_flag, p, node in ends:
+                if not bad_flag:
+                    continue
+                r = nodes.get(node)
+                if r is None:
+                    yield f"wire {net}: {which} node {node!r} not placed"
+                else:
+                    yield (
+                        f"wire {net}: {which} point {p} not on boundary of "
+                        f"node {node!r} at ({r.x},{r.y},{r.w},{r.h})"
+                    )
+
+    _bulk(rep, count, msgs())
+
+
+def _vt_track_overlaps(t, rep: ValidationReport) -> None:
+    rep.checks_run.append("track-overlap")
+    ns = t.num_segments
+    if ns < 2:
+        return
+    horiz = t.is_horizontal.astype(np.int64)
+    track = np.where(horiz == 1, t.y1, t.x1)
+    lo = np.where(horiz == 1, t.x1, t.y1)
+    hi = np.where(horiz == 1, t.x2, t.y2)
+    w_of = t.wire_of
+    order = np.lexsort((w_of, hi, lo, track, horiz, t.layer))
+    lay_s, hz_s, tr_s = t.layer[order], horiz[order], track[order]
+    lo_s, hi_s, w_s = lo[order], hi[order], w_of[order]
+    new = np.empty(ns, dtype=bool)
+    new[0] = True
+    new[1:] = (
+        (lay_s[1:] != lay_s[:-1])
+        | (hz_s[1:] != hz_s[:-1])
+        | (tr_s[1:] != tr_s[:-1])
+    )
+    gid = np.cumsum(new) - 1
+    mn = int(lo_s.min())
+    band = int(hi_s.max()) - mn + 1
+    cummax = np.maximum.accumulate((hi_s - mn) + gid * band)
+    bad = np.zeros(ns, dtype=bool)
+    bad[1:] = ((lo_s[1:] - mn) + gid[1:] * band) < cummax[:-1]
+    count = int(bad.sum())
+    if not count:
+        return
+    starts = np.flatnonzero(new)
+
+    def msgs():
+        for i in np.flatnonzero(bad).tolist():
+            g0 = int(starts[int(gid[i])])
+            # recover the running-max interval the scalar scan pairs with
+            mx = g0
+            for j in range(g0 + 1, i):
+                if int(hi_s[j]) > int(hi_s[mx]):
+                    mx = j
+            yield (
+                f"layer {int(lay_s[i])} {'H' if hz_s[i] else 'V'} track "
+                f"{int(tr_s[i])}: intervals "
+                f"[{int(lo_s[mx])},{int(hi_s[mx])}] (wire {t.nets[int(w_s[mx])]}) and "
+                f"[{int(lo_s[i])},{int(hi_s[i])}] (wire {t.nets[int(w_s[i])]}) overlap"
+            )
+
+    _bulk(rep, count, msgs())
+
+
+def _vt_columns(t):
+    """Via/terminal columns ``(x, y, z_lo, z_hi, wire_idx)`` as arrays —
+    the vectorized :func:`_columns` (discontiguous wires excluded)."""
+    paths = t.paths()
+    good = ~paths.bad
+    gw = np.flatnonzero(good)
+    first = t.indptr[:-1]
+    last = t.indptr[1:] - 1
+    sx = paths.px[paths.pt_indptr[:-1]][gw]
+    sy = paths.py[paths.pt_indptr[:-1]][gw]
+    ex = paths.px[paths.pt_indptr[1:] - 1][gw]
+    ey = paths.py[paths.pt_indptr[1:] - 1][gw]
+    t1 = t.layer[first[gw]] if gw.size else np.zeros(0, dtype=np.int64)
+    t2 = t.layer[last[gw]] if gw.size else np.zeros(0, dtype=np.int64)
+    ones = np.ones(gw.size, dtype=np.int64)
+    w_of = t.wire_of
+    if t.num_segments > 1:
+        inner = np.flatnonzero(w_of[:-1] == w_of[1:])
+        ch = t.layer[inner] != t.layer[inner + 1]
+        bi = inner[ch]
+        bw = w_of[bi]
+        keep = good[bw]
+        bi, bw = bi[keep], bw[keep]
+    else:
+        bi = bw = np.zeros(0, dtype=np.int64)
+    # the joint after global segment i of wire w is path point i + w + 1
+    bx = paths.px[bi + bw + 1]
+    by = paths.py[bi + bw + 1]
+    bzlo = np.minimum(t.layer[bi], t.layer[bi + 1]) if bi.size else bi
+    bzhi = np.maximum(t.layer[bi], t.layer[bi + 1]) if bi.size else bi
+    cx = np.concatenate([sx, ex, bx])
+    cy = np.concatenate([sy, ey, by])
+    zlo = np.concatenate([ones, ones, bzlo])
+    zhi = np.concatenate([t1, t2, bzhi])
+    cw = np.concatenate([gw, gw, bw])
+    return cx, cy, zlo, zhi, cw
+
+
+def _vt_via_col_conflicts(t, cx, cy, zlo, zhi, cw, rep: ValidationReport) -> None:
+    n = len(cx)
+    if n < 2:
+        return
+    order = np.lexsort((cw, zhi, zlo, cy, cx))
+    X, Y = cx[order], cy[order]
+    A, B, W = zlo[order], zhi[order], cw[order]
+    new = np.empty(n, dtype=bool)
+    new[0] = True
+    new[1:] = (X[1:] != X[:-1]) | (Y[1:] != Y[:-1])
+    gid = np.cumsum(new) - 1
+    mn = int(A.min())
+    band = int(B.max()) - mn + 1
+    cm = np.maximum.accumulate((B - mn) + gid * band)
+    cand = np.zeros(n, dtype=bool)
+    # z-ranges sorted by zlo: a later column intersects an earlier one iff
+    # its zlo does not clear the running max zhi (inclusive)
+    cand[1:] = ((A[1:] - mn) + gid[1:] * band) <= cm[:-1]
+    if not cand.any():
+        return
+    starts = np.flatnonzero(new)
+    ends = np.append(starts[1:], n)
+    count = 0
+    messages: List[str] = []
+    for g in np.unique(gid[cand]).tolist():
+        g0, g1 = int(starts[g]), int(ends[g])
+        lst = [(int(A[k]), int(B[k]), int(W[k])) for k in range(g0, g1)]
+        x_, y_ = int(X[g0]), int(Y[g0])
+        for i in range(len(lst)):
+            for j in range(i + 1, len(lst)):
+                (alo, ahi, wa), (blo, bhi, wb) = lst[i], lst[j]
+                if wa != wb and alo <= bhi and blo <= ahi:
+                    count += 1
+                    if len(messages) < MAX_ERRORS_KEPT:
+                        messages.append(
+                            f"via columns of wires {t.nets[wa]} and "
+                            f"{t.nets[wb]} collide at ({x_},{y_}) "
+                            f"layers [{alo},{ahi}]&[{blo},{bhi}]"
+                        )
+    _bulk(rep, count, iter(messages))
+
+
+def _vt_via_seg_conflicts(t, cx, cy, zlo, zhi, cw, rep: ValidationReport) -> None:
+    if len(cx) == 0 or t.num_segments == 0:
+        return
+    # one query per (column, spanned layer)
+    reps = zhi - zlo + 1
+    nq = int(reps.sum())
+    qc = np.repeat(np.arange(len(cx), dtype=np.int64), reps)
+    offs = np.zeros(len(cx), dtype=np.int64)
+    np.cumsum(reps[:-1], out=offs[1:])
+    ql = (np.arange(nq, dtype=np.int64) - np.repeat(offs, reps)) + np.repeat(zlo, reps)
+    qx, qy, qw = cx[qc], cy[qc], cw[qc]
+    count = 0
+    messages: List[str] = []
+    horiz = t.is_horizontal
+    for is_h in (True, False):
+        si = np.flatnonzero(horiz if is_h else ~horiz)
+        if not si.size:
+            continue
+        s_lay = t.layer[si]
+        s_fix = (t.y1 if is_h else t.x1)[si]
+        s_lo = (t.x1 if is_h else t.y1)[si]
+        s_hi = (t.x2 if is_h else t.y2)[si]
+        s_w = t.wire_of[si]
+        q_fix = qy if is_h else qx
+        q_var = qx if is_h else qy
+        fmin = min(int(s_fix.min()), int(q_fix.min()))
+        fspan = max(int(s_fix.max()), int(q_fix.max())) - fmin + 1
+        enc_s = s_lay * fspan + (s_fix - fmin)
+        enc_q = ql * fspan + (q_fix - fmin)
+        order = np.lexsort((s_lo, enc_s))
+        enc_ss, lo_ss, hi_ss, w_ss = enc_s[order], s_lo[order], s_hi[order], s_w[order]
+        uniq, g_start = np.unique(enc_ss, return_index=True)
+        g_end = np.append(g_start[1:], len(enc_ss))
+        gs = np.searchsorted(uniq, enc_ss)
+        xmin = min(int(lo_ss.min()), int(q_var.min()))
+        xband = max(int(hi_ss.max()), int(q_var.max())) - xmin + 1
+        cm = np.maximum.accumulate((hi_ss - xmin) + gs * xband)
+        q_gpos = np.searchsorted(uniq, enc_q)
+        in_range = q_gpos < len(uniq)
+        has_group = in_range.copy()
+        has_group[in_range] = uniq[q_gpos[in_range]] == enc_q[in_range]
+        pos = np.searchsorted(
+            enc_ss * xband + (lo_ss - xmin),
+            enc_q * xband + (q_var - xmin),
+            side="left",
+        )
+        idx = np.flatnonzero(has_group & (pos > 0))
+        if not idx.size:
+            continue
+        # earlier groups can never exceed this group's threshold, so one
+        # prefix cummax answers "any same-group segment with lo < q < hi?"
+        thr = q_gpos[idx] * xband + (q_var[idx] - xmin)
+        hit_idx = idx[cm[pos[idx] - 1] > thr]
+        for q in hit_idx.tolist():
+            g = int(q_gpos[q])
+            g0, g1 = int(g_start[g]), int(g_end[g])
+            xv = int(q_var[q])
+            wi = int(qw[q])
+            sl = slice(g0, g1)
+            mseg = (lo_ss[sl] < xv) & (hi_ss[sl] > xv) & (w_ss[sl] != wi)
+            for k in np.flatnonzero(mseg).tolist():
+                count += 1
+                if len(messages) < MAX_ERRORS_KEPT:
+                    messages.append(
+                        f"wire {t.nets[int(w_ss[g0 + k])]} passes through via "
+                        f"of wire {t.nets[wi]} at ({int(qx[q])},{int(qy[q])}) "
+                        f"layer {int(ql[q])}"
+                    )
+    _bulk(rep, count, iter(messages))
+
+
+def _vt_terminals_distinct(t, rep: ValidationReport) -> None:
+    rep.checks_run.append("terminals-distinct")
+    paths = t.paths()
+    gw = np.flatnonzero(~paths.bad)
+    n = gw.size
+    if n < 2:
+        return
+    sx = paths.px[paths.pt_indptr[:-1]][gw]
+    sy = paths.py[paths.pt_indptr[:-1]][gw]
+    ex = paths.px[paths.pt_indptr[1:] - 1][gw]
+    ey = paths.py[paths.pt_indptr[1:] - 1][gw]
+    tx = np.empty(2 * n, dtype=np.int64)
+    ty = np.empty(2 * n, dtype=np.int64)
+    tx[0::2], tx[1::2] = sx, ex
+    ty[0::2], ty[1::2] = sy, ey
+    tw = np.repeat(gw, 2)
+    net_id: Dict = {}
+    nid_w = np.empty(t.num_wires, dtype=np.int64)
+    for i, net in enumerate(t.nets):
+        nid_w[i] = net_id.setdefault(net, len(net_id))
+    tn = nid_w[tw]
+    # stable sort by point, preserving (wire order, start-then-end) within
+    # a point group — exactly the legacy dict's last-seen semantics
+    order = np.lexsort((np.arange(2 * n), ty, tx))
+    X, Y, N_, W = tx[order], ty[order], tn[order], tw[order]
+    same = (X[1:] == X[:-1]) & (Y[1:] == Y[:-1])
+    err = same & (N_[1:] != N_[:-1])
+    count = int(err.sum())
+    if not count:
+        return
+
+    def msgs():
+        for i in (np.flatnonzero(err) + 1).tolist():
+            p = (int(X[i]), int(Y[i]))
+            yield (
+                f"terminal point {p} shared by wires "
+                f"{t.nets[int(W[i - 1])]} and {t.nets[int(W[i])]}"
+            )
+
+    _bulk(rep, count, msgs())
+
+
+def _vt_nodes_disjoint(nodes, rep: ValidationReport) -> None:
+    rep.checks_run.append("nodes-disjoint")
+    n = len(nodes)
+    if n < 2:
+        return
+    rx = np.fromiter((r.x for r in nodes.values()), np.int64, n)
+    ry = np.fromiter((r.y for r in nodes.values()), np.int64, n)
+    rx2 = np.fromiter((r.x2 for r in nodes.values()), np.int64, n)
+    ry2 = np.fromiter((r.y2 for r in nodes.values()), np.int64, n)
+    order = np.lexsort((rx, ry2, ry))
+    Y1, Y2, X1, X2 = ry[order], ry2[order], rx[order], rx2[order]
+    new = np.empty(n, dtype=bool)
+    new[0] = True
+    new[1:] = (Y1[1:] != Y1[:-1]) | (Y2[1:] != Y2[:-1])
+    gid = np.cumsum(new) - 1
+    mn = int(X1.min())
+    band = int(X2.max()) - mn + 1
+    cm = np.maximum.accumulate((X2 - mn) + gid * band)
+    flag = np.zeros(n, dtype=bool)
+    flag[1:] = ((X1[1:] - mn) + gid[1:] * band) < cm[:-1]
+    flag &= Y2 > Y1  # zero-height rects cannot strictly overlap in-band
+    violation = bool(flag.any())
+    if not violation:
+        # bands whose y-intervals strictly overlap may hide cross-band hits
+        starts = np.flatnonzero(new)
+        ends = np.append(starts[1:], n)
+        bY1, bY2 = Y1[starts], Y2[starts]
+        nb = len(starts)
+        if nb > 1:
+            cmy = np.maximum.accumulate(bY2)
+            cross = (np.flatnonzero(bY1[1:] < cmy[:-1]) + 1).tolist()
+            for j in cross:
+                for i in range(j):
+                    if not (bY1[i] < bY2[j] and bY1[j] < bY2[i]):
+                        continue
+                    A1 = X1[starts[i]:ends[i]]
+                    Acm = np.maximum.accumulate(X2[starts[i]:ends[i]])
+                    B1 = X1[starts[j]:ends[j]]
+                    B2 = X2[starts[j]:ends[j]]
+                    pos = np.searchsorted(A1, B2, side="left")
+                    hit = (pos > 0) & (Acm[np.maximum(pos - 1, 0)] > B1)
+                    if bool(hit.any()):
+                        violation = True
+                        break
+                if violation:
+                    break
+    if violation:
+        # exact sweep reproduces the legacy pair count and messages
+        _nodes_disjoint_sweep(nodes, rep)
+
+
+class _BandIndex:
+    """Vectorized point-in-band + interval-overlap queries over node
+    bands (rects grouped by identical fixed-axis interval)."""
+
+    def __init__(self, bands: Dict[Tuple[int, int], List[Tuple[int, int]]]) -> None:
+        items = sorted(bands.items())
+        self.a = np.array([k[0] for k, _v in items], dtype=np.int64)
+        self.b = np.array([k[1] for k, _v in items], dtype=np.int64)
+        self.disjoint = bool(np.all(self.a[1:] >= self.b[:-1])) if len(items) > 1 else True
+        ivs = [sorted(v) for _k, v in items]
+        self.iv_lens = np.array([len(v) for v in ivs], dtype=np.int64)
+        self.iv_start = np.zeros(len(items), dtype=np.int64)
+        np.cumsum(self.iv_lens[:-1], out=self.iv_start[1:])
+        flat = [iv for lst in ivs for iv in lst]
+        self.iv1 = np.array([p[0] for p in flat], dtype=np.int64)
+        iv2 = np.array([p[1] for p in flat], dtype=np.int64)
+        gid = np.repeat(np.arange(len(items), dtype=np.int64), self.iv_lens)
+        self.xmin = int(self.iv1.min()) if len(flat) else 0
+        self.xband = (int(iv2.max()) - self.xmin + 1) if len(flat) else 1
+        self.key = gid * self.xband + (self.iv1 - self.xmin)
+        self.cm = np.maximum.accumulate((iv2 - self.xmin) + gid * self.xband)
+
+    def hits(self, fix: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """For each query segment: strictly inside some band's open fixed
+        interval AND strictly overlapping one of its stored intervals?"""
+        out = np.zeros(len(fix), dtype=bool)
+        if not len(self.a) or not len(fix):
+            return out
+        if self.disjoint:
+            idx = np.searchsorted(self.a, fix, side="left") - 1
+            idxc = np.maximum(idx, 0)
+            inside = (idx >= 0) & (fix < self.b[idxc])
+            if not inside.any():
+                return out
+            g = idxc
+            # clamp query offsets into the group's numeric band so the
+            # search never spills into a neighbouring group's values
+            qoff = np.clip(hi - self.xmin, 0, self.xband)
+            pos = np.searchsorted(self.key, g * self.xband + qoff, side="left")
+            cand = inside & (pos > 0)
+            thr = g * self.xband + np.maximum(lo - self.xmin, -1)
+            cand[cand] = self.cm[pos[cand] - 1] > thr[cand]
+            return cand
+        # overlapping bands (heterogeneous node sizes): per-band masks
+        for g in range(len(self.a)):
+            m = (fix > self.a[g]) & (fix < self.b[g])
+            if not m.any():
+                continue
+            s0 = int(self.iv_start[g])
+            s1 = s0 + int(self.iv_lens[g])
+            iv1 = self.iv1[s0:s1]
+            cm = self.cm[s0:s1] - g * self.xband + self.xmin
+            pos = np.searchsorted(iv1, hi[m], side="left")
+            sub = (pos > 0) & (cm[np.maximum(pos - 1, 0)] > lo[m])
+            mm = np.zeros(len(fix), dtype=bool)
+            mm[m] = sub
+            out |= mm
+        return out
+
+
+def _vt_wires_avoid_nodes(t, nodes, rep: ValidationReport) -> None:
+    rep.checks_run.append("wires-avoid-nodes")
+    if not nodes or t.num_segments == 0:
+        return
+    ybands: Dict[Tuple[int, int], List[Tuple[int, int]]] = defaultdict(list)
+    xbands: Dict[Tuple[int, int], List[Tuple[int, int]]] = defaultdict(list)
+    for r in nodes.values():
+        ybands[(r.y, r.y2)].append((r.x, r.x2))
+        xbands[(r.x, r.x2)].append((r.y, r.y2))
+    horiz = t.is_horizontal
+    hit = np.zeros(t.num_segments, dtype=bool)
+    for is_h, bands in ((True, ybands), (False, xbands)):
+        si = np.flatnonzero(horiz if is_h else ~horiz)
+        if not si.size:
+            continue
+        fix = (t.y1 if is_h else t.x1)[si]
+        lo = (t.x1 if is_h else t.y1)[si]
+        hi = (t.x2 if is_h else t.y2)[si]
+        hit[si] = _BandIndex(bands).hits(fix, lo, hi)
+    count = int(hit.sum())
+    if not count:
+        return
+    w_of = t.wire_of
+
+    def msgs():
+        for i in np.flatnonzero(hit).tolist():
+            net = t.nets[int(w_of[i])]
+            if horiz[i]:
+                yield (
+                    f"wire {net}: H segment y={int(t.y1[i])} "
+                    f"x[{int(t.x1[i])},{int(t.x2[i])}] crosses a node interior"
+                )
+            else:
+                yield (
+                    f"wire {net}: V segment x={int(t.x1[i])} "
+                    f"y[{int(t.y1[i])},{int(t.y2[i])}] crosses a node interior"
+                )
+
+    _bulk(rep, count, msgs())
+
+
+def validate_table(
+    table,
+    nodes,
+    model,
+    graph: Optional[Graph] = None,
+    check_nodes: bool = True,
+    check_vias: bool = True,
+) -> ValidationReport:
+    """Vectorized rule set over a :class:`WireTable` (same checks, same
+    verdicts as :func:`validate_layout_legacy`)."""
+    rep = ValidationReport(ok=True)
+    _vt_layer_discipline(table, model, rep)
+    _vt_contiguity_terminals(table, nodes, rep)
+    _vt_track_overlaps(table, rep)
+    if check_vias:
+        rep.checks_run.append("via-conflicts")
+        cols = _vt_columns(table)
+        _vt_via_col_conflicts(table, *cols, rep)
+        _vt_via_seg_conflicts(table, *cols, rep)
+        _vt_terminals_distinct(table, rep)
+    if check_nodes:
+        _vt_nodes_disjoint(nodes, rep)
+        _vt_wires_avoid_nodes(table, nodes, rep)
+    if graph is not None:
+        _check_realizes_graph(table.nets, set(nodes), graph, rep)
+    return rep
+
+
+def validate_layout(
+    layout: Layout,
+    graph: Optional[Graph] = None,
+    check_nodes: bool = True,
+    check_vias: bool = True,
+) -> ValidationReport:
+    """Run the full rule set; returns a report (``.raise_if_failed()`` to
+    assert).  Vectorized: operates on the layout's wire table (native for
+    table-built layouts, converted once otherwise)."""
+    return validate_table(
+        layout.wire_table(),
+        layout.nodes,
+        layout.model,
+        graph=graph,
+        check_nodes=check_nodes,
+        check_vias=check_vias,
+    )

@@ -32,9 +32,20 @@ class TestCommands:
         svg = tmp_path / "out.svg"
         assert main(["layout", "--ks", "1,1,1", "--svg", str(svg)]) == 0
         out = capsys.readouterr().out
-        assert "validation: OK" in out
+        assert "validation (table): OK" in out
         assert "area" in out
+        assert "p99" in out  # wire-length distribution row
         assert svg.exists()
+
+    def test_layout_legacy_engine_matches(self, capsys):
+        assert main(["layout", "--ks", "1,1,1", "--legacy"]) == 0
+        legacy_out = capsys.readouterr().out
+        assert "validation (legacy): OK" in legacy_out
+        assert main(["layout", "--ks", "1,1,1"]) == 0
+        table_out = capsys.readouterr().out
+        # identical metric tables (strip the timing line)
+        strip = lambda s: "\n".join(s.splitlines()[1:])
+        assert strip(legacy_out) == strip(table_out)
 
     def test_dims(self, capsys):
         assert main(["dims", "--ks", "8,8,8", "--layers", "4"]) == 0

@@ -11,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.layout.collinear import collinear_layout
 from repro.layout.geometry import Segment, Wire
 from repro.layout.grid_scheme import build_grid_layout
-from repro.layout.validate import validate_layout
+from repro.layout.validate import validate_layout, validate_layout_legacy
 
 
 def fresh_collinear():
@@ -64,12 +64,36 @@ def mutate_break_contiguity(layout, i):
     pytest.skip("no multi-segment wire")
 
 
+def mutate_via_passthrough(layout, i):
+    """Run a foreign wire straight through another wire's via point."""
+    for j in range(len(layout.wires)):
+        w = layout.wires[(i + j) % len(layout.wires)]
+        vias = w.vias()
+        if vias:
+            x, y = vias[0]
+            layout.wires.append(
+                Wire(net=("mut", "via"), segments=[Segment(x - 1, y, x + 1, y, 2)])
+            )
+            return
+    pytest.skip("no via in layout")
+
+
+def mutate_layer_overflow(layout, i):
+    """Push a segment above the model's layer budget."""
+    w = layout.wires[i % len(layout.wires)]
+    s = w.segments[0]
+    bad = s.layer + 2 * (layout.model.num_layers + 2)  # keep parity legal
+    w.segments[0] = Segment(s.x1, s.y1, s.x2, s.y2, bad)
+
+
 MUTATIONS = [
     mutate_layer_parity,
     mutate_detach_terminal,
     mutate_duplicate_wire,
     mutate_drop_wire,
     mutate_break_contiguity,
+    mutate_via_passthrough,
+    mutate_layer_overflow,
 ]
 
 
@@ -101,3 +125,31 @@ def test_two_mutations_counted(capsys=None):
     mutate_layer_parity(layout, 1)
     rep = validate_layout(layout, graph)
     assert rep.num_errors >= 2
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=["collinear", "grid"])
+@pytest.mark.parametrize("mutation", MUTATIONS, ids=lambda m: m.__name__)
+def test_mutation_verdict_parity(factory, mutation):
+    """Vectorized and legacy validators reject every mutation identically."""
+    layout, graph = factory()
+    mutation(layout, 3)
+    rep_v = validate_layout(layout, graph)
+    rep_l = validate_layout_legacy(layout, graph)
+    assert not rep_v.ok and not rep_l.ok
+    assert rep_v.checks_run == rep_l.checks_run
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=["collinear", "grid"])
+def test_via_conflict_message(factory):
+    layout, graph = factory()
+    mutate_via_passthrough(layout, 0)
+    for rep in (validate_layout(layout, graph), validate_layout_legacy(layout, graph)):
+        assert any("via" in e for e in rep.errors), rep.errors[:5]
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=["collinear", "grid"])
+def test_layer_overflow_message(factory):
+    layout, graph = factory()
+    mutate_layer_overflow(layout, 0)
+    for rep in (validate_layout(layout, graph), validate_layout_legacy(layout, graph)):
+        assert any("layer" in e for e in rep.errors), rep.errors[:5]

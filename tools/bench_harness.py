@@ -4,7 +4,9 @@
 Times the vectorized bulk construction path against the per-edge
 reference path for the paper's networks (swap-butterflies, butterflies,
 swap networks) at dimensions up to ``--max-n``, times layout build +
-validation for the grid scheme, times the queued-routing simulator
+validation for the grid scheme, pits the columnar WireTable layout
+engine against the object-per-wire original (with a wire-for-wire
+parity check), times the queued-routing simulator
 (vectorized engine vs the pure-Python reference, single and batched,
 with a packet-for-packet parity check), and runs a curated subset of
 the ``benchmarks/bench_*.py`` pytest-benchmark suite.  Results are
@@ -15,6 +17,7 @@ Usage::
     PYTHONPATH=src python tools/bench_harness.py            # full run
     PYTHONPATH=src python tools/bench_harness.py --smoke    # CI-sized run
     PYTHONPATH=src python tools/bench_harness.py --sim-smoke  # engine only
+    PYTHONPATH=src python tools/bench_harness.py --layout-smoke  # layout only
     PYTHONPATH=src python tools/bench_harness.py --max-n 12 --out /tmp/b.json
 
 Methodology: each timed section runs ``gc.collect()`` first and reports
@@ -43,7 +46,10 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 import numpy as np  # noqa: E402
 
 from repro.layout.grid_scheme import build_grid_layout  # noqa: E402
-from repro.layout.validate import validate_layout  # noqa: E402
+from repro.layout.validate import (  # noqa: E402
+    validate_layout,
+    validate_layout_legacy,
+)
 from repro.topology.butterfly import Butterfly  # noqa: E402
 from repro.topology.graph import Graph  # noqa: E402
 from repro.topology.swap import SwapNetwork, SwapNetworkParams  # noqa: E402
@@ -165,7 +171,7 @@ def bench_validation(ks_list: Sequence[Sequence[int]], repeats: int) -> List[Dic
             {
                 "ks": list(ks),
                 "n": sum(ks),
-                "num_wires": len(res.layout.wires),
+                "num_wires": res.layout.num_wires(),
                 "build_s": build_s,
                 "validate_s": validate_s,
                 "repeats": repeats,
@@ -174,6 +180,83 @@ def bench_validation(ks_list: Sequence[Sequence[int]], repeats: int) -> List[Dic
         print(
             f"  grid layout ks={list(ks)}: build {build_s:7.2f} s  "
             f"validate {validate_s:7.2f} s"
+        )
+    return out
+
+
+def bench_layout_engines(
+    ks_list: Sequence[Sequence[int]], repeats: int, legacy_repeats: int = 1
+) -> List[Dict]:
+    """Columnar WireTable engine vs the object-per-wire original.
+
+    For each size: build with both engines, check wire-for-wire parity
+    (same nets, same segments, same order, same node rects), then time
+    the vectorized validator against the legacy checker on the same
+    geometry.  The legacy side runs ``legacy_repeats`` times (it is the
+    slow side; best-of-many would only waste minutes).
+    """
+    out: List[Dict] = []
+    for ks in ks_list:
+        ks = tuple(ks)
+        gc.collect()
+        t0 = time.perf_counter()
+        res_t = build_grid_layout(ks, engine="table")
+        table_build_s = time.perf_counter() - t0
+        gc.collect()
+        t0 = time.perf_counter()
+        res_l = build_grid_layout(ks, engine="legacy")
+        legacy_build_s = time.perf_counter() - t0
+
+        # wire-for-wire parity, order included.  to_wires() keeps the
+        # native table intact, so validation below stays columnar.
+        wt = res_t.layout.wire_table().to_wires()
+        wl = res_l.layout.wires
+        parity = (
+            res_t.layout.nodes == res_l.layout.nodes
+            and len(wt) == len(wl)
+            and all(
+                a.net == b.net and a.segments == b.segments
+                for a, b in zip(wt, wl)
+            )
+        )
+        del wt
+
+        def vec() -> None:
+            validate_layout(res_t.layout, res_t.graph).raise_if_failed()
+
+        vec()  # warm-up + correctness
+        vec_validate_s = _best_of(vec, repeats)
+
+        def leg() -> None:
+            validate_layout_legacy(res_l.layout, res_l.graph).raise_if_failed()
+
+        legacy_validate_s = _best_of(leg, legacy_repeats)
+
+        entry = {
+            "ks": list(ks),
+            "n": sum(ks),
+            "num_wires": res_t.layout.num_wires(),
+            "num_segments": res_t.layout.segment_count(),
+            "wire_parity": parity,
+            "table_build_s": table_build_s,
+            "legacy_build_s": legacy_build_s,
+            "vec_validate_s": vec_validate_s,
+            "legacy_validate_s": legacy_validate_s,
+            "repeats": repeats,
+            "legacy_repeats": legacy_repeats,
+            "speedup_build": legacy_build_s / table_build_s,
+            "speedup_validate": legacy_validate_s / vec_validate_s,
+            "speedup_total": (legacy_build_s + legacy_validate_s)
+            / (table_build_s + vec_validate_s),
+        }
+        out.append(entry)
+        print(
+            f"  layout engines ks={list(ks)}: build {table_build_s:6.2f} s "
+            f"vs {legacy_build_s:6.2f} s ({entry['speedup_build']:.1f}x)  "
+            f"validate {vec_validate_s:6.2f} s vs {legacy_validate_s:6.2f} s "
+            f"({entry['speedup_validate']:.1f}x)  total "
+            f"{entry['speedup_total']:.1f}x  "
+            f"parity {'OK' if parity else 'FAILED'}"
         )
     return out
 
@@ -296,6 +379,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--sim-smoke", action="store_true",
                     help="queued-routing engine smoke only: parity, "
                          "speedup and trace export at a CI-sized load")
+    ap.add_argument("--layout-smoke", action="store_true",
+                    help="layout engine smoke only: wire-for-wire parity "
+                         "and build+validate speedup at a CI-sized size")
     ap.add_argument("--max-n", type=int, default=16,
                     help="largest butterfly dimension to construct (default 16)")
     ap.add_argument("--repeats", type=int, default=3,
@@ -317,6 +403,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     date = _dt.date.today().isoformat()
     out_path = args.out or os.path.join(REPO_ROOT, f"BENCH_{date}.json")
+
+    if args.layout_smoke:
+        print("layout engine smoke (wire parity + build/validate speedup):")
+        entries = bench_layout_engines([(2, 2, 2)], repeats=2)
+        report = {
+            "generated": date,
+            "layout_smoke": True,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "layout_engines": entries,
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+        e = entries[0]
+        if not e["wire_parity"]:
+            print("ERROR: table engine layout diverged wire-for-wire from "
+                  "the legacy builder", file=sys.stderr)
+            return 1
+        if e["speedup_total"] < 2.0:
+            print(f"WARNING: layout engine speedup {e['speedup_total']:.1f}x "
+                  f"below 2x smoke floor", file=sys.stderr)
+            return 1
+        return 0
 
     if args.sim_smoke:
         print("queued-routing smoke (parity + speedup + trace export):")
@@ -349,6 +461,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     construction = bench_construction(ns, repeats, per_edge_max_n)
     print("layout build + validation:")
     validation = bench_validation(val_ks, repeats)
+    print("layout engines (columnar WireTable vs object-per-wire):")
+    layout_engines = bench_layout_engines(val_ks, repeats)
     print("queued-routing simulator (legacy vs vectorized, interleaved):")
     if args.smoke:
         queued = bench_queued_routing(
@@ -371,6 +485,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "platform": platform.platform(),
         "construction": construction,
         "validation": validation,
+        "layout_engines": layout_engines,
         "queued_routing": queued,
         "curated_benchmarks": curated,
     }
@@ -393,6 +508,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not queued["parity"]:
         print("ERROR: vectorized queued-routing engine diverged from the "
               "reference", file=sys.stderr)
+        return 1
+    if any(not e["wire_parity"] for e in layout_engines):
+        print("ERROR: table engine layout diverged wire-for-wire from the "
+              "legacy builder", file=sys.stderr)
+        return 1
+    largest = max(layout_engines, key=lambda e: e["num_wires"])
+    if not args.smoke and largest["speedup_total"] < 10.0:
+        print(f"WARNING: layout engine speedup {largest['speedup_total']:.1f}x "
+              f"at ks={largest['ks']} below the 10x acceptance floor",
+              file=sys.stderr)
         return 1
     return 0
 

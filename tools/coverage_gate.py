@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Stdlib statement-coverage gate for the ``repro`` package.
+
+Runs the tier-1 pytest suite under a ``sys.settrace`` line collector
+restricted to ``src/repro`` and reports statement coverage: executed
+lines over compiled-code lines (the union of ``co_lines()`` across all
+code objects of every module, the same statement universe coverage.py
+uses).  No third-party coverage dependency is needed, so the gate runs
+in the bare container; CI additionally runs ``pytest --cov=repro``
+(pytest-cov excludes docstrings and ``pragma: no cover`` lines, so its
+percentage reads slightly *higher* than this tool's — a fail-under
+derived from this tool is therefore conservative for both).
+
+Usage::
+
+    PYTHONPATH=src python tools/coverage_gate.py                # report
+    PYTHONPATH=src python tools/coverage_gate.py --fail-under 80
+    PYTHONPATH=src python tools/coverage_gate.py --per-file    # worst files
+
+Multiprocessing children (the simulator's sweep workers) are not
+traced; the measured number is a floor, not a ceiling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+PKG_ROOT = os.path.join(SRC_ROOT, "repro")
+sys.path.insert(0, SRC_ROOT)
+
+
+def executable_lines() -> Dict[str, Set[int]]:
+    """All code-object line numbers per module file under src/repro."""
+    out: Dict[str, Set[int]] = {}
+    for dirpath, _dirs, files in os.walk(PKG_ROOT):
+        for fname in sorted(files):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            with open(path) as fh:
+                try:
+                    code = compile(fh.read(), path, "exec")
+                except SyntaxError:
+                    continue
+            lines: Set[int] = set()
+            stack = [code]
+            while stack:
+                co = stack.pop()
+                lines.update(
+                    ln for _s, _e, ln in co.co_lines() if ln is not None
+                )
+                stack.extend(
+                    c for c in co.co_consts if hasattr(c, "co_lines")
+                )
+            out[path] = lines
+    return out
+
+
+class LineCollector:
+    """settrace hook recording executed (file, line) pairs in src/repro."""
+
+    def __init__(self) -> None:
+        self.hits: Set[Tuple[str, int]] = set()
+        self._prefix = PKG_ROOT + os.sep
+
+    def _local(self, frame, event, _arg):
+        if event == "line":
+            self.hits.add((frame.f_code.co_filename, frame.f_lineno))
+        return self._local
+
+    def global_trace(self, frame, event, _arg):
+        if event != "call":
+            return None
+        fn = frame.f_code.co_filename
+        if fn.startswith(self._prefix) or fn == PKG_ROOT:
+            return self._local
+        return None
+
+    def install(self) -> None:
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fail-under", type=float, default=None,
+                    help="exit 1 if total statement coverage is below this")
+    ap.add_argument("--per-file", action="store_true",
+                    help="also print the ten worst-covered files")
+    ap.add_argument("pytest_args", nargs="*",
+                    help="extra pytest args (default: -x -q tests/)")
+    args = ap.parse_args(argv)
+
+    import pytest
+
+    try:
+        # Tracing slows hot loops ~20x; wall-clock deadlines would flake.
+        from hypothesis import HealthCheck, settings
+
+        settings.register_profile(
+            "coverage-gate", deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        settings.load_profile("coverage-gate")
+    except ImportError:
+        pass
+
+    collector = LineCollector()
+    collector.install()
+    try:
+        rc = pytest.main(args.pytest_args or ["-x", "-q", "tests"])
+    finally:
+        collector.uninstall()
+    if rc != 0:
+        print(f"pytest failed (exit {rc}); coverage not evaluated",
+              file=sys.stderr)
+        return int(rc)
+
+    universe = executable_lines()
+    hit_by_file: Dict[str, Set[int]] = {}
+    for fn, ln in collector.hits:
+        hit_by_file.setdefault(fn, set()).add(ln)
+
+    total_exec = total_hit = 0
+    rows = []
+    for path, lines in sorted(universe.items()):
+        hit = len(lines & hit_by_file.get(path, set()))
+        total_exec += len(lines)
+        total_hit += hit
+        pct = 100.0 * hit / len(lines) if lines else 100.0
+        rows.append((pct, os.path.relpath(path, REPO_ROOT), hit, len(lines)))
+
+    pct_total = 100.0 * total_hit / total_exec if total_exec else 100.0
+    if args.per_file:
+        print("\nworst-covered files:")
+        for pct, rel, hit, n in sorted(rows)[:10]:
+            print(f"  {pct:6.1f}%  {hit:5d}/{n:<5d}  {rel}")
+    print(
+        f"\nstatement coverage (src/repro): {total_hit}/{total_exec} "
+        f"lines = {pct_total:.1f}%"
+    )
+    if args.fail_under is not None and pct_total < args.fail_under:
+        print(
+            f"FAILED coverage gate: {pct_total:.1f}% < "
+            f"fail-under {args.fail_under:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
