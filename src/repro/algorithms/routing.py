@@ -102,18 +102,22 @@ def measure_offmodule_traffic(
     for s in range(n + 1):
         phys[s] = _phi_vec(sb, s, logical[s])
     modules = phys >> k1
-    per_module: Dict[int, int] = {}
-    total = 0
-    for s in range(n):
-        a, b = modules[s], modules[s + 1]
-        cross = a != b
-        total += int(cross.sum())
-        for m in np.concatenate([a[cross], b[cross]]):
-            per_module[int(m)] = per_module.get(int(m), 0) + 1
+    num_modules = R >> k1
+    # one bincount over all crossing endpoints replaces the per-crossing
+    # dict loop; identical counts for every seed, any module order
+    a, b = modules[:-1], modules[1:]
+    cross = a != b
+    counts = np.bincount(
+        np.concatenate([a[cross], b[cross]]), minlength=num_modules
+    )
+    per_module: Dict[int, int] = {
+        m: int(c) for m, c in enumerate(counts) if c
+    }
+    total = int(np.count_nonzero(cross))
     return RoutingDemand(
         num_packets=num_packets,
         rows_per_module=1 << k1,
-        num_modules=R >> k1,
+        num_modules=num_modules,
         crossings_per_module=per_module,
         total_crossings=total,
     )

@@ -13,6 +13,11 @@ Commands mirror the library's main entry points:
 ``collinear``   optimal collinear layout of ``K_N``
 ``board``       the Section 5.2 board calculator
 ``optimize``    packaging parameter search under pin/size limits
+``package``     exact vs closed-form pin accounting for one parameter
+                vector (row / nucleus / naive schemes) or a batched
+                optimizer sweep (``--exact`` verifies every candidate
+                against the columnar link count, ``--workers`` fans the
+                verification out); ``--json`` writes the report
 ``multilevel``  per-level pins of a nested packaging hierarchy
 ``hypercube``   2-D hypercube layout (companion-claim extension)
 ``ccc``         cube-connected-cycles layout (extension)
@@ -115,6 +120,29 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("--max-nodes", type=int, default=None)
     o.add_argument("--max-l", type=int, default=4)
     o.add_argument("--top", type=int, default=8)
+
+    pk = sub.add_parser(
+        "package", help="exact vs closed-form pin accounting / optimizer sweep"
+    )
+    pk.add_argument("--ks", type=_ks, default=None,
+                    help="report mode: parameter vector, e.g. 3,3,3")
+    pk.add_argument("--scheme", choices=["row", "nucleus", "naive", "all"],
+                    default="all", help="partition scheme(s) to report")
+    pk.add_argument("--rows-per-module", type=int, default=None,
+                    help="naive-scheme module size (default 2**k1; need "
+                         "not be a power of two)")
+    pk.add_argument("-n", type=int, default=None,
+                    help="sweep mode: optimize over parameter vectors for B_n")
+    pk.add_argument("--max-pins", type=int, default=None)
+    pk.add_argument("--max-nodes", type=int, default=None)
+    pk.add_argument("--max-l", type=int, default=4)
+    pk.add_argument("--top", type=int, default=8)
+    pk.add_argument("--exact", action="store_true",
+                    help="verify every candidate against the columnar count")
+    pk.add_argument("--workers", type=int, default=None,
+                    help="multiprocessing workers for --exact sweeps")
+    pk.add_argument("--json", type=str, default=None,
+                    help="write the report as JSON")
 
     m = sub.add_parser("multilevel", help="nested hierarchy pin accounting")
     m.add_argument("--ks", type=_ks, required=True)
@@ -308,6 +336,129 @@ def _cmd_optimize(args) -> int:
     ]
     print(format_table(rows))
     return 0
+
+
+def _cmd_package(args) -> int:
+    import json
+
+    from .packaging import (
+        NaiveRowPartition,
+        NucleusPartition,
+        RowPartition,
+        count_off_module_links,
+        nucleus_partition_module_bound,
+        optimize_packaging,
+        row_partition_offmodule_per_module,
+    )
+    from .topology.bits import ilog2, is_power_of_two
+    from .topology.butterfly import Butterfly
+    from .transform.swap_butterfly import SwapButterfly
+
+    if (args.ks is None) == (args.n is None):
+        print("package: give exactly one of --ks (report) or -n (sweep)",
+              file=sys.stderr)
+        return 2
+
+    report: dict
+    if args.ks is not None:
+        sb = SwapButterfly.from_ks(args.ks)
+        n, k1 = sb.n, sb.params.ks[0]
+        schemes = (
+            ["row", "nucleus", "naive"] if args.scheme == "all"
+            else [args.scheme]
+        )
+        rows, all_ok = [], True
+        for scheme in schemes:
+            if scheme == "row":
+                rep = count_off_module_links(RowPartition.natural(sb))
+                closed = row_partition_offmodule_per_module(sb.params.ks)
+                exact, ok = rep.max_per_module, rep.max_per_module == closed
+                modules, avg = rep.num_modules, float(rep.avg_per_node)
+            elif scheme == "nucleus":
+                rep = count_off_module_links(NucleusPartition(sb))
+                closed = nucleus_partition_module_bound(k1)
+                exact, ok = rep.max_per_module, rep.max_per_module <= closed
+                modules, avg = rep.num_modules, float(rep.avg_per_node)
+            else:
+                m = args.rows_per_module or (1 << k1)
+                part = NaiveRowPartition(Butterfly(n), m)
+                pins = part.exact_pin_counts()
+                exact = max(pins.values(), default=0)
+                if is_power_of_two(m):
+                    from .packaging import naive_offmodule_per_module
+
+                    closed = naive_offmodule_per_module(n, ilog2(m))
+                    ok = exact == closed
+                else:  # the paper's ~2-links-per-node estimate
+                    closed = 2 * m * (n + 1)
+                    ok = exact <= closed
+                modules = part.num_modules
+                avg = float(part.avg_per_node())
+            all_ok &= ok
+            rows.append(
+                {
+                    "scheme": scheme,
+                    "modules": modules,
+                    "pins closed-form": closed,
+                    "pins exact": exact,
+                    "avg links/node": round(avg, 4),
+                    "match": "OK" if ok else "FAILED",
+                }
+            )
+        print(f"B_{n} pin accounting for ks={tuple(args.ks)} "
+              f"(closed form vs columnar exact):")
+        print(format_table(rows))
+        report = {
+            "mode": "report",
+            "ks": list(args.ks),
+            "n": n,
+            "schemes": rows,
+            "all_match": all_ok,
+        }
+        ret = 0 if all_ok else 1
+    else:
+        cands = optimize_packaging(
+            args.n,
+            max_nodes_per_module=args.max_nodes,
+            max_pins_per_module=args.max_pins,
+            max_l=args.max_l,
+            exact=args.exact,
+            workers=args.workers,
+        )
+        rows = [
+            {
+                "ks": c.ks,
+                "scheme": c.scheme,
+                "modules": c.num_modules,
+                "max nodes": c.max_nodes_per_module,
+                "pins": c.pins_per_module,
+                **({"pins exact": c.exact_pins} if args.exact else {}),
+                "avg links/node": round(float(c.avg_links_per_node), 4),
+            }
+            for c in cands[: args.top]
+        ]
+        if cands:
+            print(format_table(rows))
+        else:
+            print("no feasible design")
+        report = {
+            "mode": "sweep",
+            "n": args.n,
+            "exact": args.exact,
+            "max_pins": args.max_pins,
+            "max_nodes": args.max_nodes,
+            "num_candidates": len(cands),
+            "top": [
+                {**r, "ks": list(r["ks"])} for r in rows
+            ],
+        }
+        ret = 0 if cands else 1
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return ret
 
 
 def _cmd_multilevel(args) -> int:

@@ -12,11 +12,17 @@ from .baseline import (
 from .board import BoardDesign, ChipSpec, board_design, paper_board_example
 from .hierarchy import HierarchicalDesign, LevelSpec, design_two_level
 from .multilevel import LevelStats, multilevel_design, multilevel_pins
-from .optimizer import Candidate, enumerate_parameter_vectors, optimize_packaging
+from .optimizer import (
+    Candidate,
+    enumerate_parameter_vectors,
+    exact_pin_maxima,
+    optimize_packaging,
+)
 from .partition import NucleusPartition, Partition, RowPartition
 from .pins import (
     PinReport,
     count_off_module_links,
+    count_off_module_links_legacy,
     nucleus_partition_module_bound,
     row_partition_avg_bound,
     row_partition_avg_per_node,
@@ -29,6 +35,7 @@ __all__ = [
     "NucleusPartition",
     "PinReport",
     "count_off_module_links",
+    "count_off_module_links_legacy",
     "row_partition_offmodule_per_module",
     "row_partition_avg_per_node",
     "row_partition_avg_bound",
@@ -49,6 +56,7 @@ __all__ = [
     "design_two_level",
     "Candidate",
     "enumerate_parameter_vectors",
+    "exact_pin_maxima",
     "optimize_packaging",
     "LevelStats",
     "multilevel_design",

@@ -9,13 +9,24 @@ all cross links on high row bits crossing module boundaries: for module
 size ``m = 2**b`` there are ``n - b`` stage boundaries whose cross links
 leave (those on bits ``>= b``), two link endpoints per node pair — about
 ``2 (n - b) 2**b`` pins per module, i.e. ~2 per node for ``b << n``.
+
+Exact counting shares the packaging layer's columnar style: the cross
+links of ``B_n`` are one flip-bit table ``rows ^ 2**s`` (built once per
+dimension and reused across *all* candidate module sizes by
+:func:`max_rows_within_pin_limit`, which previously re-enumerated
+``O(n 2**n)`` links per candidate); crossing endpoints are
+``bincount``-ed per module.  The per-link Python loop survives as
+:meth:`NaiveRowPartition.exact_pin_counts_legacy`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Dict, Tuple
+
+import numpy as np
 
 from ..topology.bits import flip_bit
 from ..topology.butterfly import Butterfly
@@ -29,6 +40,34 @@ __all__ = [
     "paper_estimate_max_rows",
     "paper_estimate_module_count",
 ]
+
+
+@lru_cache(maxsize=8)
+def _flip_table(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``(rows, rows ^ 2**s)`` for ``B_n``: every cross-link row pair, one
+    ``(n, 2**n)`` int64 table shared across all module sizes."""
+    rows = np.arange(1 << n, dtype=np.int64)
+    flipped = rows[None, :] ^ (np.int64(1) << np.arange(n, dtype=np.int64))[:, None]
+    return rows, flipped
+
+
+def _naive_pin_counts(n: int, rows_per_module: int) -> np.ndarray:
+    """Off-module link endpoints per module, columnar.
+
+    Each stage boundary carries *two* cross links per row pair —
+    ``(r, s)-(r^2^s, s+1)`` and ``(r^2^s, s)-(r, s+1)`` — so every row
+    contributes one outgoing cross link per boundary: the ``(n, 2**n)``
+    flip table *is* the directed cross-link set.
+    """
+    rows, flipped = _flip_table(n)
+    num_modules = -((1 << n) // -rows_per_module)
+    mu = rows // rows_per_module
+    mv = flipped // rows_per_module
+    cross = mu[None, :] != mv
+    ids = np.concatenate(
+        [np.broadcast_to(mu, mv.shape)[cross], mv[cross]]
+    )
+    return np.bincount(ids, minlength=num_modules)
 
 
 @dataclass
@@ -51,17 +90,21 @@ class NaiveRowPartition:
     def module_of(self, node: Tuple[int, int]) -> int:
         return node[0] // self.rows_per_module
 
+    def module_ids(self, rows: np.ndarray, stages: np.ndarray = None) -> np.ndarray:
+        """Columnar ``module_of``; stages are irrelevant to row packing."""
+        return np.asarray(rows, dtype=np.int64) // self.rows_per_module
+
     @property
     def num_modules(self) -> int:
         return -(-self.bfly.rows // self.rows_per_module)
 
     def exact_pin_counts(self) -> Dict[int, int]:
-        """Off-module link endpoints per module, by enumeration.
+        """Off-module link endpoints per module, by the columnar kernel."""
+        counts = _naive_pin_counts(self.bfly.n, self.rows_per_module)
+        return {m: int(c) for m, c in enumerate(counts)}
 
-        Each stage boundary carries *two* cross links per row pair —
-        ``(r, s)-(r^2^s, s+1)`` and ``(r^2^s, s)-(r, s+1)`` — so every row
-        contributes one outgoing cross link per boundary.
-        """
+    def exact_pin_counts_legacy(self) -> Dict[int, int]:
+        """The original per-link loop; kept as a differential oracle."""
         pins = {m: 0 for m in range(self.num_modules)}
         b = self.bfly
         for s in range(b.n):
@@ -76,12 +119,12 @@ class NaiveRowPartition:
 
     @property
     def max_pins(self) -> int:
-        return max(self.exact_pin_counts().values(), default=0)
+        return int(_naive_pin_counts(self.bfly.n, self.rows_per_module).max())
 
     def avg_per_node(self) -> Fraction:
-        pins = self.exact_pin_counts()
+        pins = _naive_pin_counts(self.bfly.n, self.rows_per_module)
         total_nodes = self.bfly.num_nodes
-        return Fraction(sum(pins.values()), total_nodes)
+        return Fraction(int(pins.sum()), total_nodes)
 
 
 def naive_offmodule_per_module(n: int, b: int) -> int:
@@ -103,12 +146,16 @@ def naive_avg_per_node(n: int, b: int) -> Fraction:
 def max_rows_within_pin_limit(n: int, pin_limit: int) -> int:
     """Largest count of consecutive rows of ``B_n`` whose module needs at
     most ``pin_limit`` off-module links (Section 5.2: 3 rows for the
-    64-pin chip on ``B_9``)."""
-    bfly = Butterfly(n)
+    64-pin chip on ``B_9``).
+
+    One flip-bit table serves every candidate size: each candidate is a
+    fresh integer division of the same row/flipped columns, not a fresh
+    ``O(n 2**n)`` link enumeration.
+    """
+    rows = 1 << n
     best = 0
-    for m in range(1, bfly.rows + 1):
-        part = NaiveRowPartition(bfly, m)
-        if part.max_pins <= pin_limit:
+    for m in range(1, rows + 1):
+        if int(_naive_pin_counts(n, m).max()) <= pin_limit:
             best = m
         elif best:
             break

@@ -29,7 +29,7 @@ from ..topology.swap import SwapNetworkParams
 from ..transform.swap_butterfly import SwapButterfly
 from .baseline import paper_estimate_module_count
 from .partition import RowPartition
-from .pins import row_partition_offmodule_per_module
+from .pins import count_off_module_links, row_partition_offmodule_per_module
 
 __all__ = ["ChipSpec", "BoardDesign", "board_design", "paper_board_example"]
 
@@ -89,13 +89,16 @@ def board_design(
     chip: ChipSpec,
     layers: int = 2,
     optimize_neighbor_links: bool = True,
+    verify_exact: bool = False,
 ) -> BoardDesign:
     """Two-level design: row-partition chips on a recursive-grid board.
 
     Chips = ``2**k1`` consecutive swap-butterfly rows; the board arranges
     them as a ``2**k3 x 2**k2`` grid wired by replicated collinear layouts,
     with channel tracks folded onto ``layers`` wiring layers exactly as in
-    Theorem 4.1.
+    Theorem 4.1.  ``verify_exact=True`` re-derives the per-chip pin count
+    from the columnar link enumeration and raises if the closed form
+    disagrees.
     """
     if len(ks) != 3:
         raise ValueError(f"board example uses l = 3, got {len(ks)}")
@@ -104,6 +107,12 @@ def board_design(
     sb = SwapButterfly(params)
     part = RowPartition.natural(sb)
     pins = row_partition_offmodule_per_module(params.ks)
+    if verify_exact:
+        measured = count_off_module_links(part).max_per_module
+        if measured != pins:
+            raise AssertionError(
+                f"closed-form pins {pins} != exact {measured} for ks={params.ks}"
+            )
     if pins > chip.max_pins:
         raise ValueError(
             f"partition needs {pins} off-chip links > chip limit {chip.max_pins}"

@@ -70,12 +70,15 @@ def design_two_level(
     ks: Sequence[int],
     chip_level: LevelSpec,
     board_level: LevelSpec,
+    verify_exact: bool = False,
 ) -> HierarchicalDesign:
     """Compose a chip+board design and check it against both level specs.
 
     Chip side must be given (``chip_level.max_side``); the board's channel
     tracks are scaled by ``board_level.wire_width`` and folded onto
-    ``board_level.wiring_layers`` layers.
+    ``board_level.wiring_layers`` layers.  ``verify_exact`` is forwarded
+    to :func:`~repro.packaging.board.board_design` to re-check the
+    closed-form chip pin count against the columnar enumeration.
     """
     if chip_level.max_side is None:
         raise ValueError("chip level needs max_side (chips are placed as squares)")
@@ -91,7 +94,10 @@ def design_two_level(
         side=chip_level.max_side,
     )
     try:
-        bd = board_design(params.ks, chip, layers=board_level.wiring_layers)
+        bd = board_design(
+            params.ks, chip, layers=board_level.wiring_layers,
+            verify_exact=verify_exact,
+        )
     except ValueError as e:
         # infeasible partition: report with a degenerate board
         raise ValueError(f"two-level design infeasible: {e}") from e

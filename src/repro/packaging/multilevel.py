@@ -69,9 +69,9 @@ def multilevel_pins(ks: Sequence[int], level: int) -> int:
 def multilevel_design(ks: Sequence[int], verify: bool = False) -> List[LevelStats]:
     """Per-level packaging statistics for the nested row hierarchy.
 
-    ``verify=True`` additionally enumerates every link against each
-    level's partition and asserts the closed form (used by tests; costs
-    ``O(l * edges)``).
+    ``verify=True`` additionally counts every link against each level's
+    partition (the columnar kernel, sharing one memoized edge array
+    across all ``l`` levels) and asserts the closed form.
     """
     p = SwapNetworkParams(ks)
     n = p.n

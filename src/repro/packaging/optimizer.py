@@ -10,28 +10,53 @@ and rank by (number of modules, pins per module, board area when l = 3).
 It also encodes the paper's observation that when module size is the
 binding constraint, a *larger* ``k1`` with a *smaller* ``l`` (the nucleus
 variant) can beat the row partition for practically sized networks.
+
+``optimize_packaging(..., exact=True)`` additionally verifies every
+candidate's closed-form pin count against the columnar
+:func:`~repro.packaging.pins.count_off_module_links` kernel: both schemes
+of one parameter vector share a single memoized swap-butterfly edge
+array, vectors are batched, and ``workers > 1`` fans the batches out to
+a :mod:`multiprocessing` pool (mirroring ``sweep_rates`` from the
+queued-routing engine).  A row candidate whose exact count diverges from
+the closed form raises; a nucleus candidate must respect Theorem 2.1's
+``2**(k1+2)`` bound.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import multiprocessing
+from dataclasses import dataclass, replace
 from fractions import Fraction
-from itertools import product
-from typing import Iterator, List, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..topology.swap import SwapNetworkParams
+from ..transform.swap_butterfly import SwapButterfly
+from .partition import NucleusPartition, RowPartition
 from .pins import (
+    count_off_module_links,
     nucleus_partition_module_bound,
     row_partition_avg_per_node,
     row_partition_offmodule_per_module,
 )
 
-__all__ = ["Candidate", "enumerate_parameter_vectors", "optimize_packaging"]
+__all__ = [
+    "Candidate",
+    "enumerate_parameter_vectors",
+    "exact_pin_maxima",
+    "optimize_packaging",
+]
 
 
 @dataclass(frozen=True)
 class Candidate:
-    """One scored parameter choice."""
+    """One scored parameter choice.
+
+    ``exact_pins`` is populated (and checked against the closed form) only
+    by ``optimize_packaging(..., exact=True)``; the nucleus scheme's
+    closed form is Theorem 2.1's *bound*, so its exact count may be
+    smaller (boundary segments have one-sided composite boundaries).
+    """
 
     ks: Tuple[int, ...]
     scheme: str  # 'row' | 'nucleus'
@@ -39,6 +64,7 @@ class Candidate:
     max_nodes_per_module: int
     pins_per_module: int
     avg_links_per_node: Fraction
+    exact_pins: Optional[int] = None
 
     @property
     def l(self) -> int:
@@ -111,21 +137,67 @@ def _candidates_for(ks: Tuple[int, ...]) -> Iterator[Candidate]:
         )
 
 
+@lru_cache(maxsize=256)
+def exact_pin_maxima(ks: Tuple[int, ...]) -> Dict[str, int]:
+    """Exact max off-module links per module for both schemes of ``ks``.
+
+    One swap-butterfly (and one memoized edge array) serves both the row
+    and the nucleus partition; results are cached per parameter vector so
+    repeated sweeps over overlapping grids never re-count.
+    """
+    sb = SwapButterfly.from_ks(ks)
+    return {
+        "row": count_off_module_links(RowPartition.natural(sb)).max_per_module,
+        "nucleus": count_off_module_links(NucleusPartition(sb)).max_per_module,
+    }
+
+
+def _exact_chunk(ks_batch: Tuple[Tuple[int, ...], ...]) -> Dict[Tuple[int, ...], Dict[str, int]]:
+    """Module-level worker so multiprocessing chunks pickle cleanly."""
+    return {ks: exact_pin_maxima(ks) for ks in ks_batch}
+
+
 def optimize_packaging(
     n: int,
     max_nodes_per_module: Optional[int] = None,
     max_pins_per_module: Optional[int] = None,
     max_l: int = 4,
+    exact: bool = False,
+    workers: Optional[int] = None,
+    batch: int = 8,
 ) -> List[Candidate]:
     """Feasible candidates for ``B_n``, best first.
 
     Ranking follows the paper's priorities: fewest modules, then fewest
-    pins, then lowest average off-module links per node.
+    pins, then lowest average off-module links per node.  Feasibility
+    filters always use the closed forms (the nucleus bound is the pin
+    *budget* a module must provision for); ``exact=True`` attaches the
+    columnar exact count to every candidate and raises if a row
+    candidate's closed form is wrong or a nucleus candidate exceeds
+    Theorem 2.1's bound.
     """
+    vectors = [
+        ks for ks in enumerate_parameter_vectors(n, max_l=max_l)
+        if len(ks) >= 2  # no partitioning benefit from a single level
+    ]
+    exact_by_ks: Dict[Tuple[int, ...], Dict[str, int]] = {}
+    if exact:
+        batch = max(1, batch)
+        chunks = [
+            tuple(vectors[i : i + batch])
+            for i in range(0, len(vectors), batch)
+        ]
+        if workers and workers > 1 and len(chunks) > 1:
+            procs = min(workers, len(chunks))
+            with multiprocessing.get_context().Pool(procs) as pool:
+                parts = pool.map(_exact_chunk, chunks)
+        else:
+            parts = [_exact_chunk(c) for c in chunks]
+        for part in parts:
+            exact_by_ks.update(part)
+
     out: List[Candidate] = []
-    for ks in enumerate_parameter_vectors(n, max_l=max_l):
-        if len(ks) < 2:
-            continue  # no partitioning benefit from a single level
+    for ks in vectors:
         for cand in _candidates_for(ks):
             if (
                 max_nodes_per_module is not None
@@ -137,6 +209,19 @@ def optimize_packaging(
                 and cand.pins_per_module > max_pins_per_module
             ):
                 continue
+            if exact:
+                measured = exact_by_ks[cand.ks][cand.scheme]
+                if cand.scheme == "row" and measured != cand.pins_per_module:
+                    raise AssertionError(
+                        f"row closed form {cand.pins_per_module} != exact "
+                        f"{measured} for ks={cand.ks}"
+                    )
+                if cand.scheme == "nucleus" and measured > cand.pins_per_module:
+                    raise AssertionError(
+                        f"nucleus exact {measured} exceeds Theorem 2.1 bound "
+                        f"{cand.pins_per_module} for ks={cand.ks}"
+                    )
+                cand = replace(cand, exact_pins=measured)
             out.append(cand)
     out.sort(key=Candidate.sort_key)
     return out

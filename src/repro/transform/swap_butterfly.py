@@ -206,6 +206,21 @@ class SwapButterfly:
                 chunks.append(edge_array((rows, s), (sig ^ 1, s + 1)))
         return np.concatenate(chunks)
 
+    def cached_edge_array(self) -> np.ndarray:
+        """Memoized, read-only :meth:`edge_array`.
+
+        The packaging kernels map every link through several partitions of
+        the same swap-butterfly; building the 2 x ``num_edges`` column set
+        once and sharing the (write-protected) array keeps repeated pin
+        counts allocation-free.
+        """
+        ea = getattr(self, "_edge_array_cache", None)
+        if ea is None:
+            ea = self.edge_array()
+            ea.setflags(write=False)
+            self._edge_array_cache = ea
+        return ea
+
     def graph(self) -> Graph:
         # Every (row, stage) node is an endpoint of some boundary link
         # (n >= 1), so the bulk insert alone yields the full node set.

@@ -63,6 +63,10 @@ class TestBoardExample:
         with pytest.raises(ValueError):
             ChipSpec(0, 20)
 
+    def test_verify_exact_columnar_recheck(self):
+        d = board_design((3, 3, 3), ChipSpec(64, 20), verify_exact=True)
+        assert d.pins_per_chip == 56
+
 
 class TestHierarchy:
     def test_two_level_feasible(self):
@@ -106,6 +110,15 @@ class TestHierarchy:
     def test_levelspec_validation(self):
         with pytest.raises(ValueError):
             LevelSpec("x", wire_width=0)
+
+    def test_two_level_verify_exact(self):
+        d = design_two_level(
+            (3, 3, 3),
+            LevelSpec("chip", max_pins=64, max_side=20),
+            LevelSpec("board", wiring_layers=2),
+            verify_exact=True,
+        )
+        assert d.feasible
 
 
 class TestOptimizer:

@@ -68,6 +68,51 @@ class TestCommands:
     def test_optimize_infeasible(self, capsys):
         assert main(["optimize", "-n", "9", "--max-pins", "1"]) == 1
 
+    def test_package_report(self, capsys):
+        assert main(["package", "--ks", "3,3,3"]) == 0
+        out = capsys.readouterr().out
+        assert "row" in out and "nucleus" in out and "naive" in out
+        assert "56" in out  # Section 5.2's exact row-partition pins
+        assert "FAILED" not in out
+
+    def test_package_report_naive_non_power_of_two(self, capsys):
+        assert main(
+            ["package", "--ks", "3,3,3", "--scheme", "naive",
+             "--rows-per-module", "3"]
+        ) == 0
+        assert "171" in capsys.readouterr().out  # ceil(512/3) modules
+
+    def test_package_sweep_exact_json(self, capsys, tmp_path):
+        out_json = tmp_path / "package.json"
+        assert main(
+            ["package", "-n", "8", "--exact", "--max-pins", "64",
+             "--top", "4", "--json", str(out_json)]
+        ) == 0
+        assert "pins exact" in capsys.readouterr().out
+        import json
+
+        data = json.loads(out_json.read_text())
+        assert data["mode"] == "sweep" and data["exact"]
+        assert data["num_candidates"] >= 1
+        assert all("pins exact" in row for row in data["top"])
+
+    def test_package_sweep_infeasible(self, capsys):
+        assert main(["package", "-n", "8", "--max-pins", "1"]) == 1
+
+    def test_package_needs_exactly_one_mode(self, capsys):
+        assert main(["package"]) == 2
+        assert main(["package", "--ks", "2,2", "-n", "4"]) == 2
+
+    def test_package_report_json(self, capsys, tmp_path):
+        out_json = tmp_path / "report.json"
+        assert main(
+            ["package", "--ks", "2,2", "--json", str(out_json)]
+        ) == 0
+        import json
+
+        data = json.loads(out_json.read_text())
+        assert data["mode"] == "report" and data["all_match"]
+
     def test_multilevel(self, capsys):
         assert main(["multilevel", "--ks", "3,3,3"]) == 0
         assert "224" in capsys.readouterr().out

@@ -8,9 +8,13 @@ validation for the grid scheme, pits the columnar WireTable layout
 engine against the object-per-wire original (with a wire-for-wire
 parity check), times the queued-routing simulator
 (vectorized engine vs the pure-Python reference, single and batched,
-with a packet-for-packet parity check), and runs a curated subset of
-the ``benchmarks/bench_*.py`` pytest-benchmark suite.  Results are
-written to ``BENCH_<date>.json`` in the repo root (or ``--out``).
+with a packet-for-packet parity check), times the columnar packaging
+engine against the per-link legacy enumerator (build + row/nucleus pin
+counts, with a per-module-dict parity check, plus an exact-count
+optimizer sweep at n = 16 that the object loops could not touch), and
+runs a curated subset of the ``benchmarks/bench_*.py`` pytest-benchmark
+suite.  Results are written to ``BENCH_<date>.json`` in the repo root
+(or ``--out``).
 
 Usage::
 
@@ -18,6 +22,7 @@ Usage::
     PYTHONPATH=src python tools/bench_harness.py --smoke    # CI-sized run
     PYTHONPATH=src python tools/bench_harness.py --sim-smoke  # engine only
     PYTHONPATH=src python tools/bench_harness.py --layout-smoke  # layout only
+    PYTHONPATH=src python tools/bench_harness.py --packaging-smoke  # pins only
     PYTHONPATH=src python tools/bench_harness.py --max-n 12 --out /tmp/b.json
 
 Methodology: each timed section runs ``gc.collect()`` first and reports
@@ -336,6 +341,109 @@ def bench_queued_routing(
     return entry
 
 
+def bench_packaging(
+    ks_list: Sequence[Sequence[int]],
+    repeats: int,
+    legacy_repeats: int = 1,
+    exact_sweep_n: Optional[int] = None,
+    exact_workers: Optional[int] = None,
+) -> Dict:
+    """Columnar packaging engine vs the per-link legacy enumerator.
+
+    Each timed run is build + count from scratch — construct the
+    swap-butterfly and count off-module links of both the row and the
+    nucleus partition — so the speedup covers the whole pin-accounting
+    path, not just the inner kernel.  Parity checks totals *and* the
+    per-module dicts.  ``exact_sweep_n`` additionally times the
+    ``optimize_packaging(..., exact=True)`` sweep (columnar only: the
+    legacy loops made it infeasible at n = 16).
+    """
+    from repro.packaging.optimizer import optimize_packaging  # noqa: PLC0415
+    from repro.packaging.partition import (  # noqa: PLC0415
+        NucleusPartition,
+        RowPartition,
+    )
+    from repro.packaging.pins import (  # noqa: PLC0415
+        count_off_module_links,
+        count_off_module_links_legacy,
+    )
+
+    entries: List[Dict] = []
+    for ks in ks_list:
+        ks = tuple(ks)
+
+        def columnar():
+            sb = SwapButterfly.from_ks(ks)
+            return (
+                count_off_module_links(RowPartition.natural(sb)),
+                count_off_module_links(NucleusPartition(sb)),
+            )
+
+        def legacy():
+            sb = SwapButterfly.from_ks(ks)
+            return (
+                count_off_module_links_legacy(RowPartition.natural(sb)),
+                count_off_module_links_legacy(NucleusPartition(sb)),
+            )
+
+        crow, cnuc = columnar()  # warm-up + parity data
+        lrow, lnuc = legacy()
+        parity = all(
+            a.off_module_links == b.off_module_links
+            and a.num_modules == b.num_modules
+            and a.per_module == b.per_module
+            and a.nodes_per_module == b.nodes_per_module
+            for a, b in ((crow, lrow), (cnuc, lnuc))
+        )
+        col_s = _best_of(columnar, repeats)
+        leg_s = _best_of(legacy, legacy_repeats)
+        entry = {
+            "ks": list(ks),
+            "n": sum(ks),
+            "num_links": crow.total_links,
+            "row_off_module": crow.off_module_links,
+            "nucleus_off_module": cnuc.off_module_links,
+            "columnar_s": col_s,
+            "legacy_s": leg_s,
+            "repeats": repeats,
+            "legacy_repeats": legacy_repeats,
+            "parity": parity,
+            "speedup": leg_s / col_s if col_s else None,
+        }
+        entries.append(entry)
+        print(
+            f"  packaging ks={list(ks)}: build+count {col_s * 1e3:8.2f} ms "
+            f"vs {leg_s * 1e3:8.2f} ms ({entry['speedup']:.1f}x)  "
+            f"parity {'OK' if parity else 'FAILED'}"
+        )
+
+    sweep = None
+    if exact_sweep_n is not None:
+        gc.collect()
+        t0 = time.perf_counter()
+        cands = optimize_packaging(
+            exact_sweep_n, exact=True, workers=exact_workers
+        )
+        sweep_s = time.perf_counter() - t0
+        verified = all(
+            c.exact_pins is not None and c.exact_pins <= c.pins_per_module
+            for c in cands
+        )
+        sweep = {
+            "n": exact_sweep_n,
+            "num_candidates": len(cands),
+            "workers": exact_workers,
+            "exact_sweep_s": sweep_s,
+            "all_verified": verified,
+        }
+        print(
+            f"  exact optimizer sweep n={exact_sweep_n}: "
+            f"{len(cands)} candidates verified in {sweep_s:.2f} s "
+            f"({'OK' if verified else 'FAILED'})"
+        )
+    return {"counts": entries, "exact_sweep": sweep}
+
+
 def run_curated_benches(benches: Sequence[str]) -> Optional[List[Dict]]:
     """Run the curated pytest-benchmark subset; fold in its stats."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -382,6 +490,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--layout-smoke", action="store_true",
                     help="layout engine smoke only: wire-for-wire parity "
                          "and build+validate speedup at a CI-sized size")
+    ap.add_argument("--packaging-smoke", action="store_true",
+                    help="packaging engine smoke only: per-module-dict "
+                         "parity and build+count speedup at a CI-sized "
+                         "size plus a small exact optimizer sweep")
     ap.add_argument("--max-n", type=int, default=16,
                     help="largest butterfly dimension to construct (default 16)")
     ap.add_argument("--repeats", type=int, default=3,
@@ -430,6 +542,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         return 0
 
+    if args.packaging_smoke:
+        print("packaging engine smoke (dict parity + build/count speedup):")
+        section = bench_packaging([(3, 3, 3)], repeats=3, exact_sweep_n=10)
+        report = {
+            "generated": date,
+            "packaging_smoke": True,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "packaging": section,
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+        e = section["counts"][0]
+        if not e["parity"]:
+            print("ERROR: columnar pin counts diverged from the legacy "
+                  "enumerator", file=sys.stderr)
+            return 1
+        if e["speedup"] < 2.0:
+            print(f"WARNING: packaging speedup {e['speedup']:.1f}x below "
+                  f"2x smoke floor", file=sys.stderr)
+            return 1
+        if not section["exact_sweep"]["all_verified"]:
+            print("ERROR: exact optimizer sweep failed verification",
+                  file=sys.stderr)
+            return 1
+        return 0
+
     if args.sim_smoke:
         print("queued-routing smoke (parity + speedup + trace export):")
         entry = bench_queued_routing(
@@ -471,6 +613,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         queued = bench_queued_routing(
             n=8, cycles=2000, warmup=200, rate=0.8,
             repeats=max(repeats, 5), batch=16)
+    print("packaging engine (columnar vs per-link legacy):")
+    if args.smoke:
+        packaging = bench_packaging([(3, 3, 3)], repeats=2, exact_sweep_n=10)
+    else:
+        packaging = bench_packaging(
+            [(3, 3, 3), (4, 4, 4), (5, 5, 4)], repeats=repeats,
+            exact_sweep_n=min(args.max_n, 16),
+        )
     curated = None
     if not args.smoke:
         print("curated benchmark subset:")
@@ -487,6 +637,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validation": validation,
         "layout_engines": layout_engines,
         "queued_routing": queued,
+        "packaging": packaging,
         "curated_benchmarks": curated,
     }
     with open(out_path, "w") as fh:
@@ -517,6 +668,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.smoke and largest["speedup_total"] < 10.0:
         print(f"WARNING: layout engine speedup {largest['speedup_total']:.1f}x "
               f"at ks={largest['ks']} below the 10x acceptance floor",
+              file=sys.stderr)
+        return 1
+    if any(not e["parity"] for e in packaging["counts"]):
+        print("ERROR: columnar pin counts diverged from the legacy "
+              "enumerator", file=sys.stderr)
+        return 1
+    big_pkg = max(packaging["counts"], key=lambda e: e["num_links"])
+    if not args.smoke and big_pkg["speedup"] < 10.0:
+        print(f"WARNING: packaging speedup {big_pkg['speedup']:.1f}x at "
+              f"ks={big_pkg['ks']} below the 10x acceptance floor",
+              file=sys.stderr)
+        return 1
+    if packaging["exact_sweep"] and not packaging["exact_sweep"]["all_verified"]:
+        print("ERROR: exact optimizer sweep failed verification",
               file=sys.stderr)
         return 1
     return 0
