@@ -43,7 +43,7 @@ def test_pin_lower_bound(benchmark):
                 "ks": ks,
                 "traffic balance (cv)": round(float(balance), 3),
                 "measured demand": round(demand, 2),
-                "pin LB M/logR": round(lb, 2),
+                "pin LB (1-M/N)M/logR": round(lb, 2),
                 "our pins": pins,
                 "pins/demand": round(pins / demand, 2),
             }
@@ -51,6 +51,7 @@ def test_pin_lower_bound(benchmark):
         assert balance < 0.15  # balanced within a small factor (premise)
         assert pins >= demand * 0.9  # pins cover the sustained demand
         assert pins <= 32 * max(demand, 1)  # ...within a constant factor
+        assert lb <= pins  # the analytic bound really is a lower bound
     emit(
         "LB-PIN: random-routing demand vs Theorem 2.1 pins "
         "(paper: Omega(M/log R) lower bound)",

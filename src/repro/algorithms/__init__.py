@@ -1,7 +1,17 @@
 """Ascend/FFT dataflow execution and routing simulation on the topologies."""
 
 from .ascend import AscendTrace, run_on_butterfly, run_on_isn
-from .benes_routing import BenesSettings, apply_settings, num_switch_stages, route_permutation
+from .benes_routing import (
+    BenesSettings,
+    BenesSettingsBatch,
+    apply_settings,
+    apply_settings_batch,
+    apply_settings_legacy,
+    num_switch_stages,
+    route_permutation,
+    route_permutation_legacy,
+    route_permutations,
+)
 from .fft import dit_combine, fft_via_butterfly, fft_via_isn
 from .queued_routing import (
     SimResult,
@@ -16,8 +26,13 @@ from .routing import RoutingDemand, measure_offmodule_traffic, path_rows
 __all__ = [
     "AscendTrace",
     "BenesSettings",
+    "BenesSettingsBatch",
     "route_permutation",
+    "route_permutations",
+    "route_permutation_legacy",
     "apply_settings",
+    "apply_settings_batch",
+    "apply_settings_legacy",
     "num_switch_stages",
     "run_on_butterfly",
     "run_on_isn",

@@ -17,7 +17,7 @@ from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
-from ..topology.bits import flip_bit
+from ..topology.bits import level_swap_array
 from ..topology.butterfly import Butterfly
 from ..topology.isn import ISN, SwapStep
 
@@ -92,9 +92,14 @@ def run_on_isn(
     rows = np.arange(R)
     for step in isn.schedule:
         if isinstance(step, SwapStep):
-            sigma = np.array(
-                [isn.params.sigma(step.level, int(u)) for u in range(R)]
-            )
+            sigma = level_swap_array(rows, isn.params.ks, step.level)
+            # parity spot-check against the scalar map (stride keeps it
+            # O(1) per step while still covering every bit position)
+            stride = max(1, R // 16)
+            assert all(
+                int(sigma[u]) == isn.params.sigma(step.level, u)
+                for u in range(0, R, stride)
+            ), f"level_swap_array disagrees with sigma at level {step.level}"
             new_vals = np.empty_like(vals)
             new_logical = np.empty_like(logical)
             new_vals[sigma] = vals

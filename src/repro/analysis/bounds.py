@@ -44,10 +44,18 @@ def pin_lower_bound(module_nodes: int, R: int) -> float:
     """``Omega(M / log R)`` off-module links for an ``M``-node module.
 
     Each node injects ``Theta(1/log R)`` packets per step towards uniform
-    destinations; a fraction ``1 - M/N`` of traffic must leave the module,
-    so the module's boundary must carry ``~ M / log2 R`` packets per step
-    with unit-capacity links.
+    destinations; a fraction ``1 - M/N`` of traffic must leave the module
+    (with ``N = (log2 R + 1) R`` the butterfly's node count), so the
+    module's boundary must carry ``(M / log2 R) (1 - M/N)`` packets per
+    step with unit-capacity links.  The off-module fraction matters as
+    ``M -> N``: a module holding the whole network needs no pins at all.
     """
     if module_nodes < 1:
         raise ValueError("module must contain at least one node")
-    return module_nodes / math.log2(R)
+    if R < 2 or R & (R - 1):
+        raise ValueError(f"R must be a power of two >= 2, got {R}")
+    k = math.log2(R)
+    N = (int(k) + 1) * R
+    if module_nodes > N:
+        raise ValueError(f"module has {module_nodes} nodes but the network only {N}")
+    return module_nodes * (1 - module_nodes / N) / k

@@ -87,8 +87,17 @@ def multilayer_max_wire(n: int, L: int) -> float:
 
 
 def multilayer_volume(n: int, L: int) -> float:
-    """Section 4.2: ``4N^2 / (L log2^2 N)`` (area times ``L``)."""
-    return multilayer_area(n, L) * L
+    """Section 4.2: ``4N^2 / (L log2^2 N)``, both parities of ``L``.
+
+    This is *not* ``multilayer_area(n, L) * L`` for odd ``L`` — that
+    would be ``4N^2 L/((L^2-1) log2^2 N)``, overstating the volume by
+    ``L^2/(L^2-1)``.  The display drops the odd-``L`` correction: the
+    extra layer contributes no extra terminals, only area.
+    """
+    if L < 2:
+        raise ValueError(f"L must be >= 2, got {L}")
+    N = num_nodes(n)
+    return 4 * N * N / (L * log2N(n) ** 2)
 
 
 def avior_area(n: int) -> float:

@@ -26,7 +26,10 @@ Commands mirror the library's main entry points:
                 sweeps, per-cycle trace export, saturation search
 ``sort``        run the bitonic sorting network
 ``isn-layout``  stage-column layout of an ISN itself
-``benes``       route random permutations through a Benes network
+``benes``       Benes permutation routing: single perms (``--perm``,
+                ``--legacy`` for the recursive oracle) or a seeded
+                batch in one vectorized pass (``--batch``,
+                ``--workers``); ``--json`` writes the report
 ``fft``         run an FFT over an ISN flow graph, compare with numpy
 ``figures``     print the paper's text figures (1, 2, 4)
 ==============  ========================================================
@@ -196,9 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
     isn.add_argument("--layers", type=int, default=2)
 
     be = sub.add_parser("benes", help="Benes permutation routing")
-    be.add_argument("-n", type=int, required=True, help="2**n terminals")
-    be.add_argument("--permutations", type=int, default=3)
+    be.add_argument("-n", type=int, default=None, help="2**n terminals")
+    be.add_argument("--permutations", type=int, default=3,
+                    help="random permutations to route one by one")
     be.add_argument("--seed", type=int, default=0)
+    be.add_argument("--perm", type=_int_list, default=None,
+                    help="route this explicit permutation, e.g. 3,1,0,2")
+    be.add_argument("--batch", type=int, default=None,
+                    help="batch mode: route this many seeded permutations "
+                         "in one vectorized pass")
+    be.add_argument("--legacy", action="store_true",
+                    help="use the recursive reference engine (per-perm mode)")
+    be.add_argument("--workers", type=int, default=None,
+                    help="multiprocessing workers for --batch")
+    be.add_argument("--json", type=str, default=None,
+                    help="write the report as JSON")
 
     f = sub.add_parser("fft", help="FFT over an ISN flow graph")
     f.add_argument("--ks", type=_ks, required=True)
@@ -645,26 +660,92 @@ def _cmd_isn_layout(args) -> int:
 
 
 def _cmd_benes(args) -> int:
+    import json
     import random
+    import time
 
-    from .algorithms.benes_routing import apply_settings, route_permutation
+    import numpy as np
 
-    rng = random.Random(args.seed)
-    N = 1 << args.n
-    ok = True
-    for trial in range(args.permutations):
-        perm = list(range(N))
-        rng.shuffle(perm)
-        settings = route_permutation(perm)
-        realized = apply_settings(settings)
-        match = realized == perm
-        ok &= match
+    from .algorithms.benes_routing import (
+        apply_settings,
+        apply_settings_batch,
+        apply_settings_legacy,
+        route_permutation,
+        route_permutation_legacy,
+        route_permutations,
+    )
+
+    if args.perm is not None:
+        perm = list(args.perm)
+        n = (len(perm) - 1).bit_length()
+    elif args.n is not None:
+        n = args.n
+    else:
+        print("benes: give -n or --perm", file=sys.stderr)
+        return 2
+    N = 1 << n
+    total_switches = (2 * n - 1) * N // 2
+    report: dict = {"n": n, "terminals": N, "switches": total_switches}
+
+    if args.batch:
+        rng = np.random.default_rng(args.seed)
+        perms = np.array([rng.permutation(N) for _ in range(args.batch)])
+        t0 = time.perf_counter()
+        batch = route_permutations(perms, workers=args.workers)
+        route_s = time.perf_counter() - t0
+        realized = apply_settings_batch(batch)
+        ok = bool(np.array_equal(realized, perms))
+        counts = batch.count_crossed()
         print(
-            f"perm {trial}: N={N}, crossed switches "
-            f"{settings.count_crossed()}/{(2 * args.n - 1) * N // 2}, "
-            f"realized={'OK' if match else 'MISMATCH'}"
+            f"batch: {args.batch} perms, N={N}, routed in {route_s:.3f} s, "
+            f"crossed switches min/mean/max "
+            f"{int(counts.min())}/{counts.mean():.1f}/{int(counts.max())} "
+            f"of {total_switches}, realized={'OK' if ok else 'MISMATCH'}"
         )
-    return 0 if ok else 1
+        report.update(
+            mode="batch", batch=args.batch, seed=args.seed,
+            route_seconds=route_s, realized_ok=ok,
+            crossed={"min": int(counts.min()), "mean": float(counts.mean()),
+                     "max": int(counts.max())},
+        )
+    else:
+        route = route_permutation_legacy if args.legacy else route_permutation
+        apply_ = apply_settings_legacy if args.legacy else apply_settings
+        if args.perm is not None:
+            trials = [list(args.perm)]
+        else:
+            rng = random.Random(args.seed)
+            trials = []
+            for _ in range(args.permutations):
+                perm = list(range(N))
+                rng.shuffle(perm)
+                trials.append(perm)
+        ok = True
+        perm_rows = []
+        for trial, perm in enumerate(trials):
+            settings = route(perm)
+            realized = apply_(settings)
+            match = realized == perm
+            ok &= match
+            crossed = settings.count_crossed()
+            print(
+                f"perm {trial}: N={N}, crossed switches "
+                f"{crossed}/{total_switches}, "
+                f"realized={'OK' if match else 'MISMATCH'}"
+            )
+            perm_rows.append(
+                {"perm": perm, "crossed": crossed, "realized_ok": match}
+            )
+        report.update(
+            mode="legacy" if args.legacy else "single",
+            permutations=perm_rows, realized_ok=ok,
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report["realized_ok"] else 1
 
 
 def _cmd_fft(args) -> int:

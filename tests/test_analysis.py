@@ -64,6 +64,25 @@ class TestFormulas:
             multilayer_area(9, 1)
         with pytest.raises(ValueError):
             multilayer_max_wire(9, 0)
+        with pytest.raises(ValueError):
+            multilayer_volume(9, 1)
+
+    def test_multilayer_volume_both_parities(self):
+        """Section 4.2 display ``4N^2/(L log2^2 N)`` for even *and* odd L."""
+        N = num_nodes(9)
+        for L in (2, 3, 4, 5):
+            assert multilayer_volume(9, L) == pytest.approx(
+                4 * N * N / (L * math.log2(N) ** 2)
+            )
+        # even L: volume really is area * L
+        assert multilayer_volume(9, 4) == pytest.approx(multilayer_area(9, 4) * 4)
+
+    def test_multilayer_volume_odd_L_regression(self):
+        """``area * L`` is the old, biased value for odd L: it overstates
+        the display by ``L^2/(L^2-1)`` (e.g. 9/8 at L=3)."""
+        biased = multilayer_area(9, 3) * 3  # == 4N^2 * 3 / (8 log2^2 N)
+        assert biased == pytest.approx(multilayer_volume(9, 3) * 9 / 8)
+        assert multilayer_volume(9, 3) < biased
 
     def test_prior_work_ordering(self):
         """Dinitz (slanted) < Muthukrishnan (knock-knee) < Avior = ours (L=2)."""
@@ -98,10 +117,24 @@ class TestBounds:
             injection_rate(100)
 
     def test_pin_lower_bound(self):
-        # 80-node module of B_9: ~ 80/9 pins minimum
-        assert pin_lower_bound(80, 512) == pytest.approx(80 / 9)
+        # 80-node module of B_9 (N = 5120): (80/9) * (1 - 80/5120) = 8.75
+        assert pin_lower_bound(80, 512) == pytest.approx(8.75)
         with pytest.raises(ValueError):
             pin_lower_bound(0, 512)
+        with pytest.raises(ValueError):
+            pin_lower_bound(80, 100)  # R must be a power of two
+        with pytest.raises(ValueError):
+            pin_lower_bound(6000, 512)  # more nodes than the network has
+
+    def test_pin_lower_bound_bias_regression(self):
+        """The old value ``M / log2 R`` dropped the off-module fraction
+        ``1 - M/N`` — biased high, badly so as M -> N."""
+        biased = 80 / 9
+        assert pin_lower_bound(80, 512) == pytest.approx(biased * (1 - 80 / 5120))
+        assert pin_lower_bound(80, 512) < biased
+        # a module holding the whole network needs no pins at all;
+        # the biased formula claimed N / log R
+        assert pin_lower_bound(5120, 512) == 0.0
 
     def test_theorem21_within_constant_of_lb(self):
         """The paper's partitions sit within a small constant of the pin

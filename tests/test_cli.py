@@ -126,6 +126,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.count("realized=OK") == 2
 
+    def test_benes_batch_json(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "benes.json"
+        assert main(["benes", "-n", "5", "--batch", "20",
+                     "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 20 perms" in out and "realized=OK" in out
+        data = json.loads(report.read_text())
+        assert data["mode"] == "batch" and data["realized_ok"] is True
+
+    def test_benes_explicit_perm_and_legacy(self, capsys):
+        assert main(["benes", "--perm", "3,1,0,2"]) == 0
+        new_out = capsys.readouterr().out
+        assert main(["benes", "--perm", "3,1,0,2", "--legacy"]) == 0
+        legacy_out = capsys.readouterr().out
+        # both engines route the same perm with identical counts
+        assert new_out == legacy_out
+        assert "realized=OK" in new_out
+
+    def test_benes_requires_n_or_perm(self, capsys):
+        assert main(["benes"]) == 2
+        assert "give -n or --perm" in capsys.readouterr().err
+
     def test_fft(self, capsys):
         assert main(["fft", "--ks", "2,2"]) == 0
         assert "max |err|" in capsys.readouterr().out

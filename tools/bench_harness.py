@@ -11,9 +11,10 @@ parity check), times the queued-routing simulator
 with a packet-for-packet parity check), times the columnar packaging
 engine against the per-link legacy enumerator (build + row/nucleus pin
 counts, with a per-module-dict parity check, plus an exact-count
-optimizer sweep at n = 16 that the object loops could not touch), and
-runs a curated subset of the ``benchmarks/bench_*.py`` pytest-benchmark
-suite.  Results are written to ``BENCH_<date>.json`` in the repo root
+optimizer sweep at n = 16 that the object loops could not touch), times
+the batched Benes routing engine against the legacy recursion (with a
+bit-for-bit settings parity check), and runs a curated subset of the
+``benchmarks/bench_*.py`` pytest-benchmark suite.  Results are written to ``BENCH_<date>.json`` in the repo root
 (or ``--out``).
 
 Usage::
@@ -23,6 +24,7 @@ Usage::
     PYTHONPATH=src python tools/bench_harness.py --sim-smoke  # engine only
     PYTHONPATH=src python tools/bench_harness.py --layout-smoke  # layout only
     PYTHONPATH=src python tools/bench_harness.py --packaging-smoke  # pins only
+    PYTHONPATH=src python tools/bench_harness.py --benes-smoke  # benes only
     PYTHONPATH=src python tools/bench_harness.py --max-n 12 --out /tmp/b.json
 
 Methodology: each timed section runs ``gc.collect()`` first and reports
@@ -444,6 +446,81 @@ def bench_packaging(
     return {"counts": entries, "exact_sweep": sweep}
 
 
+def bench_benes(
+    n: int, batch: int, repeats: int, legacy_count: int, parity_rows: int
+) -> Dict:
+    """Batched Benes routing engine vs the legacy recursion.
+
+    Routes a seeded ``(batch, 2**n)`` permutation batch through
+    :func:`route_permutations`, times the legacy recursion on
+    ``legacy_count`` of the same permutations (the slow side; the total
+    is scaled to the batch size), and gates on two kinds of parity:
+    settings bit-for-bit identical to ``route_permutation_legacy`` on an
+    exhaustive N=4 grid plus ``parity_rows`` rows of the batch, and
+    ``apply_settings_batch`` realizing exactly the input permutations.
+    """
+    import itertools  # noqa: PLC0415
+
+    from repro.algorithms.benes_routing import (  # noqa: PLC0415
+        apply_settings_batch,
+        route_permutation_legacy,
+        route_permutations,
+    )
+
+    rng = np.random.default_rng(12345)
+    N = 1 << n
+    perms = np.array([rng.permutation(N) for _ in range(batch)])
+    route_permutations(perms[: max(1, batch // 10)])  # warm-up
+    batch_s = float("inf")
+    settings = None
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        settings = route_permutations(perms)
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    gc.collect()
+    t0 = time.perf_counter()
+    legacy = [route_permutation_legacy(perms[i].tolist())
+              for i in range(legacy_count)]
+    legacy_s = time.perf_counter() - t0
+    legacy_est_s = legacy_s / legacy_count * batch
+
+    parity = all(
+        np.array_equal(settings.crossed[i], legacy[i].to_array())
+        for i in range(min(parity_rows, legacy_count))
+    )
+    for small in itertools.permutations(range(4)):
+        got = route_permutations([list(small)]).crossed[0]
+        want = route_permutation_legacy(list(small)).to_array()
+        parity &= np.array_equal(got, want)
+    realized_ok = bool(np.array_equal(apply_settings_batch(settings), perms))
+
+    entry = {
+        "n": n,
+        "batch": batch,
+        "repeats": repeats,
+        "legacy_count": legacy_count,
+        "batch_s": batch_s,
+        "per_perm_s": batch_s / batch,
+        "legacy_est_s": legacy_est_s,
+        "legacy_per_perm_s": legacy_s / legacy_count,
+        "speedup": legacy_est_s / batch_s,
+        "settings_parity": parity,
+        "realized_ok": realized_ok,
+        "mean_crossed": float(settings.count_crossed().mean()),
+    }
+    print(
+        f"  benes n={n}: batch[{batch}] {batch_s:7.3f} s "
+        f"({batch_s / batch * 1e3:.2f} ms/perm)  legacy "
+        f"{legacy_s / legacy_count * 1e3:.2f} ms/perm "
+        f"({entry['speedup']:.1f}x)  settings parity "
+        f"{'OK' if parity else 'FAILED'}  realized "
+        f"{'OK' if realized_ok else 'FAILED'}"
+    )
+    return entry
+
+
 def run_curated_benches(benches: Sequence[str]) -> Optional[List[Dict]]:
     """Run the curated pytest-benchmark subset; fold in its stats."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -494,6 +571,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     help="packaging engine smoke only: per-module-dict "
                          "parity and build+count speedup at a CI-sized "
                          "size plus a small exact optimizer sweep")
+    ap.add_argument("--benes-smoke", action="store_true",
+                    help="Benes routing engine smoke only: bit-for-bit "
+                         "settings parity vs the recursion and batched "
+                         "speedup at a CI-sized batch")
     ap.add_argument("--max-n", type=int, default=16,
                     help="largest butterfly dimension to construct (default 16)")
     ap.add_argument("--repeats", type=int, default=3,
@@ -572,6 +653,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         return 0
 
+    if args.benes_smoke:
+        print("benes routing smoke (settings parity + batched speedup):")
+        entry = bench_benes(n=6, batch=200, repeats=2,
+                            legacy_count=50, parity_rows=20)
+        report = {
+            "generated": date,
+            "benes_smoke": True,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "benes_routing": entry,
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+        if not entry["settings_parity"] or not entry["realized_ok"]:
+            print("ERROR: batched Benes engine diverged from the legacy "
+                  "recursion", file=sys.stderr)
+            return 1
+        if entry["speedup"] < 2.0:
+            print(f"WARNING: benes speedup {entry['speedup']:.1f}x below "
+                  f"2x smoke floor", file=sys.stderr)
+            return 1
+        return 0
+
     if args.sim_smoke:
         print("queued-routing smoke (parity + speedup + trace export):")
         entry = bench_queued_routing(
@@ -621,6 +728,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             [(3, 3, 3), (4, 4, 4), (5, 5, 4)], repeats=repeats,
             exact_sweep_n=min(args.max_n, 16),
         )
+    print("benes routing engine (batched vs legacy recursion):")
+    if args.smoke:
+        benes = bench_benes(n=6, batch=200, repeats=2,
+                            legacy_count=50, parity_rows=20)
+    else:
+        benes = bench_benes(n=10, batch=1000, repeats=max(repeats, 3),
+                            legacy_count=25, parity_rows=10)
     curated = None
     if not args.smoke:
         print("curated benchmark subset:")
@@ -638,6 +752,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "layout_engines": layout_engines,
         "queued_routing": queued,
         "packaging": packaging,
+        "benes_routing": benes,
         "curated_benchmarks": curated,
     }
     with open(out_path, "w") as fh:
@@ -683,6 +798,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if packaging["exact_sweep"] and not packaging["exact_sweep"]["all_verified"]:
         print("ERROR: exact optimizer sweep failed verification",
               file=sys.stderr)
+        return 1
+    if not benes["settings_parity"] or not benes["realized_ok"]:
+        print("ERROR: batched Benes engine diverged from the legacy "
+              "recursion", file=sys.stderr)
+        return 1
+    if not args.smoke and benes["speedup"] < 10.0:
+        print(f"WARNING: benes speedup {benes['speedup']:.1f}x below the "
+              f"10x acceptance floor", file=sys.stderr)
         return 1
     return 0
 
