@@ -49,7 +49,15 @@ Row = Dict[str, object]
 
 def format_table(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
     """Fixed-width plain-text table; floats rendered to 4 significant
-    digits, everything else ``str()``."""
+    digits, everything else ``str()``.
+
+    Non-finite floats are rendered explicitly (``NaN`` / ``+Inf`` /
+    ``-Inf``) rather than falling into the magnitude branches, where
+    ``abs(nan) >= 1e6`` is False on every comparison and the cell came
+    out as platform-spelled ``nan``/``inf``.  Numeric cells (ints and
+    floats, not bools) are right-justified under their left-justified
+    headers so magnitudes line up.
+    """
     if not rows:
         return "(empty)"
     cols = list(columns) if columns else list(rows[0].keys())
@@ -58,6 +66,10 @@ def format_table(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -
         if isinstance(v, bool):
             return str(v)
         if isinstance(v, float):
+            if math.isnan(v):
+                return "NaN"
+            if math.isinf(v):
+                return "+Inf" if v > 0 else "-Inf"
             if v == 0:
                 return "0"
             if abs(v) >= 1e6 or abs(v) < 1e-3:
@@ -65,14 +77,24 @@ def format_table(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -
             return f"{v:.4g}"
         return str(v)
 
-    table = [[fmt(r.get(c, "")) for c in cols] for r in rows]
+    def numeric(v: object) -> bool:
+        return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+    table = [
+        [(fmt(r.get(c, "")), numeric(r.get(c, ""))) for c in cols] for r in rows
+    ]
     widths = [
-        max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)
+        max(len(c), *(len(row[i][0]) for row in table)) for i, c in enumerate(cols)
     ]
     lines = [
         "  ".join(c.ljust(w) for c, w in zip(cols, widths)),
         "  ".join("-" * w for w in widths),
     ]
     for row in table:
-        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        lines.append(
+            "  ".join(
+                (v.rjust(w) if is_num else v.ljust(w))
+                for (v, is_num), w in zip(row, widths)
+            )
+        )
     return "\n".join(lines)

@@ -134,7 +134,15 @@ def offmodule_avg_per_node(l: int, k1: int) -> Fraction:
 
 
 def offmodule_avg_upper_bounds(l: int, k1: int) -> tuple:
-    """The paper's chain: value < 4(l-1)/(n_l+1) < 4/k1."""
+    """The paper's chain: value < 4(l-1)/(n_l+1) < 4/k1.
+
+    Validates exactly like :func:`offmodule_avg_per_node` — the chain
+    only bounds that display, so parameters the display rejects must be
+    rejected here too (``l = 1`` used to yield a vacuous 0 bound and
+    ``k1 = 0`` a ``ZeroDivisionError``-by-luck ``4/0`` fraction).
+    """
+    if l < 2 or k1 < 1:
+        raise ValueError(f"need l >= 2, k1 >= 1; got l={l} k1={k1}")
     n = l * k1
     return (Fraction(4 * (l - 1), n + 1), Fraction(4, k1))
 

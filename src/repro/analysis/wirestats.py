@@ -71,13 +71,20 @@ def wire_stats(layout: Layout) -> WireStats:
 def length_histogram(
     layout: Layout, bins: Sequence[float]
 ) -> List[Tuple[str, int]]:
-    """Counts of wires per length bin (``bins`` are the right edges)."""
+    """Counts of wires per length bin (``bins`` are the right edges).
+
+    The first bin is closed at zero — ``[0, b0]``, not ``(0, b0]`` — so
+    zero-length wires are counted and the bin counts always sum to
+    ``wire_stats(layout).count``.
+    """
     lengths = _lengths(layout)
     out: List[Tuple[str, int]] = []
     lo = 0.0
-    for hi in bins:
-        c = int(((lengths > lo) & (lengths <= hi)).sum())
-        out.append((f"({lo:.0f}, {hi:.0f}]", c))
+    for i, hi in enumerate(bins):
+        mask = (lengths >= lo) if i == 0 else (lengths > lo)
+        c = int((mask & (lengths <= hi)).sum())
+        bracket = "[" if i == 0 else "("
+        out.append((f"{bracket}{lo:.0f}, {hi:.0f}]", c))
         lo = hi
     out.append((f"> {lo:.0f}", int((lengths > lo).sum())))
     return out

@@ -32,7 +32,19 @@ Commands mirror the library's main entry points:
                 ``--workers``); ``--json`` writes the report
 ``fft``         run an FFT over an ISN flow graph, compare with numpy
 ``figures``     print the paper's text figures (1, 2, 4)
+``serve``       HTTP design-query service over the artifact cache
+                (``--port``, ``--cache-dir``; see
+                :mod:`repro.service.server` for the routes)
+``cache``       artifact-cache admin: ``ls`` entries, ``verify``
+                (re-hash everything, quarantine corruption), ``gc``
 ==============  ========================================================
+
+The query-shaped subcommands (``layout``, ``dims``, ``package`` report
+mode, ``benes`` batch mode, ``sim --saturation``) answer through the
+:mod:`repro.service` handler layer, so repeated parameter points are
+served from the content-addressed cache (``--cache-dir`` overrides the
+location, ``--no-cache`` opts out); a ``[cache hit|miss <key>]`` note
+goes to stderr so stdout stays parseable.
 """
 
 from __future__ import annotations
@@ -70,6 +82,14 @@ def _int_list(value: str) -> tuple:
         raise argparse.ArgumentTypeError(f"bad int list {value!r}") from e
 
 
+def _add_cache_opts(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--cache-dir", type=str, default=None,
+                    help="artifact-cache directory (default $REPRO_CACHE_DIR "
+                         "or ~/.cache/repro)")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="compute without reading or writing the cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -96,11 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of the columnar WireTable engine")
     l.add_argument("--svg", type=str, default=None)
     l.add_argument("--no-validate", action="store_true")
+    l.add_argument("--json", type=str, default=None,
+                   help="write the metrics report as JSON")
+    _add_cache_opts(l)
 
     d = sub.add_parser("dims", help="closed-form layout dimensions")
     d.add_argument("--ks", type=_ks, required=True)
     d.add_argument("--layers", type=int, default=2)
     d.add_argument("--node-side", type=int, default=4)
+    d.add_argument("--json", type=str, default=None,
+                   help="write the dimensions report as JSON")
+    _add_cache_opts(d)
 
     c = sub.add_parser("collinear", help="collinear layout of K_N")
     c.add_argument("-n", type=int, required=True)
@@ -146,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="multiprocessing workers for --exact sweeps")
     pk.add_argument("--json", type=str, default=None,
                     help="write the report as JSON")
+    _add_cache_opts(pk)
 
     m = sub.add_parser("multilevel", help="nested hierarchy pin accounting")
     m.add_argument("--ks", type=_ks, required=True)
@@ -189,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the per-cycle StatsTrace as JSON (single run)")
     si.add_argument("--saturation", action="store_true",
                     help="search the saturation per-node rate instead")
+    _add_cache_opts(si)
 
     so = sub.add_parser("sort", help="run the bitonic sorting network")
     so.add_argument("-n", type=int, required=True, help="2**n values")
@@ -214,6 +242,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="multiprocessing workers for --batch")
     be.add_argument("--json", type=str, default=None,
                     help="write the report as JSON")
+    _add_cache_opts(be)
+
+    sv = sub.add_parser(
+        "serve", help="HTTP design-query service over the artifact cache"
+    )
+    sv.add_argument("--host", type=str, default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8421,
+                    help="TCP port (0 binds an ephemeral port; default 8421)")
+    sv.add_argument("--max-requests", type=int, default=None,
+                    help="serve this many requests then exit (smoke tests)")
+    sv.add_argument("--quiet", action="store_true",
+                    help="suppress per-request access logging")
+    _add_cache_opts(sv)
+
+    ca = sub.add_parser(
+        "cache", help="artifact-cache admin: ls / verify / gc"
+    )
+    ca.add_argument("action", choices=["ls", "verify", "gc"])
+    ca.add_argument("--cache-dir", type=str, default=None,
+                    help="artifact-cache directory (default $REPRO_CACHE_DIR "
+                         "or ~/.cache/repro)")
+    ca.add_argument("--max-age-days", type=float, default=None,
+                    help="gc: also drop entries older than this many days")
+    ca.add_argument("--json", type=str, default=None,
+                    help="write the report as JSON")
 
     f = sub.add_parser("fft", help="FFT over an ISN flow graph")
     f.add_argument("--ks", type=_ks, required=True)
@@ -229,6 +282,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return handler(args)
 
 
+def _store_for(args):
+    """The :class:`~repro.service.ArtifactStore` the flags select, or
+    ``None`` when caching is off."""
+    from .service import ArtifactStore, default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ArtifactStore(getattr(args, "cache_dir", None) or default_cache_dir())
+
+
+def _service_query(kind: str, params: dict, args) -> dict:
+    """One cached design query; cache disposition goes to stderr so
+    stdout stays identical whether the answer was computed or served.
+    Malformed queries exit 2 like argparse errors do."""
+    from .service import QueryError, query
+
+    info: dict = {}
+    try:
+        result = query(kind, params, store=_store_for(args), info=info)
+    except QueryError as e:
+        print(f"{kind}: {e}", file=sys.stderr)
+        raise SystemExit(2) from e
+    print(f"[cache {info['cache']} {info['key'][:12]}]", file=sys.stderr)
+    return result
+
+
+def _write_json(report: dict, path: Optional[str]) -> None:
+    import json
+
+    if not path:
+        return
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
 def _cmd_verify(args) -> int:
     from .transform import verify_automorphism
 
@@ -241,6 +331,42 @@ def _cmd_verify(args) -> int:
 
 def _cmd_layout(args) -> int:
     import time
+
+    # --legacy / --svg / --no-validate need the layout objects in hand;
+    # those runs bypass the service layer.  The default run is one
+    # cached design query.
+    if not (args.legacy or args.svg or args.no_validate):
+        t0 = time.perf_counter()
+        result = _service_query(
+            "layout",
+            {
+                "ks": list(args.ks),
+                "layers": args.layers,
+                "node_side": args.node_side,
+                "track_order": args.track_order,
+                "recirculating": args.recirculating,
+            },
+            args,
+        )
+        query_s = time.perf_counter() - t0
+        print(
+            f"validation (table): {'OK' if result['valid'] else 'FAILED'}  "
+            f"[query {query_s:.3f} s]"
+        )
+        if not result["valid"]:
+            for e in result["errors"]:
+                print(f"  {e}")
+            return 1
+        rows = [
+            {"metric": k, "value": v} for k, v in result["summary"].items()
+        ]
+        rows += [
+            {"metric": k, "value": v}
+            for k, v in result["wire_stats"].items()
+        ]
+        print(format_table(rows))
+        _write_json(result, args.json)
+        return 0
 
     from .analysis.wirestats import wire_stats
     from .layout import build_grid_layout, validate_layout
@@ -278,17 +404,29 @@ def _cmd_layout(args) -> int:
         if k not in ("layout", "wires", "max")  # already in summary()
     ]
     print(format_table(rows))
+    _write_json(
+        {
+            "kind": "layout",
+            "engine": engine,
+            "metrics": {r["metric"]: r["value"] for r in rows},
+        },
+        args.json,
+    )
     if args.svg:
         print(f"wrote {save_svg(res.layout, args.svg, scale=1.5)}")
     return 0
 
 
 def _cmd_dims(args) -> int:
-    from .layout import grid_dims
-
-    d = grid_dims(args.ks, W=args.node_side, L=args.layers)
-    rows = [{"metric": k, "value": v} for k, v in d.summary().items()]
+    result = _service_query(
+        "dims",
+        {"ks": list(args.ks), "layers": args.layers,
+         "node_side": args.node_side},
+        args,
+    )
+    rows = [{"metric": k, "value": v} for k, v in result["summary"].items()]
     print(format_table(rows))
+    _write_json(result, args.json)
     return 0
 
 
@@ -354,20 +492,7 @@ def _cmd_optimize(args) -> int:
 
 
 def _cmd_package(args) -> int:
-    import json
-
-    from .packaging import (
-        NaiveRowPartition,
-        NucleusPartition,
-        RowPartition,
-        count_off_module_links,
-        nucleus_partition_module_bound,
-        optimize_packaging,
-        row_partition_offmodule_per_module,
-    )
-    from .topology.bits import ilog2, is_power_of_two
-    from .topology.butterfly import Butterfly
-    from .transform.swap_butterfly import SwapButterfly
+    from .packaging import optimize_packaging
 
     if (args.ks is None) == (args.n is None):
         print("package: give exactly one of --ks (report) or -n (sweep)",
@@ -376,57 +501,20 @@ def _cmd_package(args) -> int:
 
     report: dict
     if args.ks is not None:
-        sb = SwapButterfly.from_ks(args.ks)
-        n, k1 = sb.n, sb.params.ks[0]
-        schemes = (
-            ["row", "nucleus", "naive"] if args.scheme == "all"
-            else [args.scheme]
+        result = _service_query(
+            "package",
+            {"ks": list(args.ks), "scheme": args.scheme,
+             "rows_per_module": args.rows_per_module},
+            args,
         )
-        rows, all_ok = [], True
-        for scheme in schemes:
-            if scheme == "row":
-                rep = count_off_module_links(RowPartition.natural(sb))
-                closed = row_partition_offmodule_per_module(sb.params.ks)
-                exact, ok = rep.max_per_module, rep.max_per_module == closed
-                modules, avg = rep.num_modules, float(rep.avg_per_node)
-            elif scheme == "nucleus":
-                rep = count_off_module_links(NucleusPartition(sb))
-                closed = nucleus_partition_module_bound(k1)
-                exact, ok = rep.max_per_module, rep.max_per_module <= closed
-                modules, avg = rep.num_modules, float(rep.avg_per_node)
-            else:
-                m = args.rows_per_module or (1 << k1)
-                part = NaiveRowPartition(Butterfly(n), m)
-                pins = part.exact_pin_counts()
-                exact = max(pins.values(), default=0)
-                if is_power_of_two(m):
-                    from .packaging import naive_offmodule_per_module
-
-                    closed = naive_offmodule_per_module(n, ilog2(m))
-                    ok = exact == closed
-                else:  # the paper's ~2-links-per-node estimate
-                    closed = 2 * m * (n + 1)
-                    ok = exact <= closed
-                modules = part.num_modules
-                avg = float(part.avg_per_node())
-            all_ok &= ok
-            rows.append(
-                {
-                    "scheme": scheme,
-                    "modules": modules,
-                    "pins closed-form": closed,
-                    "pins exact": exact,
-                    "avg links/node": round(avg, 4),
-                    "match": "OK" if ok else "FAILED",
-                }
-            )
-        print(f"B_{n} pin accounting for ks={tuple(args.ks)} "
+        rows, all_ok = result["schemes"], result["all_match"]
+        print(f"B_{result['n']} pin accounting for ks={tuple(args.ks)} "
               f"(closed form vs columnar exact):")
         print(format_table(rows))
         report = {
             "mode": "report",
             "ks": list(args.ks),
-            "n": n,
+            "n": result["n"],
             "schemes": rows,
             "all_match": all_ok,
         }
@@ -468,11 +556,7 @@ def _cmd_package(args) -> int:
             ],
         }
         ret = 0 if cands else 1
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
-        print(f"wrote {args.json}")
+    _write_json(report, args.json)
     return ret
 
 
@@ -555,19 +639,22 @@ def _cmd_omega(args) -> int:
 
 def _cmd_sim(args) -> int:
     from .algorithms.queued_routing import (
-        saturation_per_node_rate,
         simulate_butterfly_queued,
         simulate_butterfly_queued_legacy,
         sweep_rates,
     )
 
     if args.saturation:
-        r = saturation_per_node_rate(
-            args.n, cycles=args.cycles, seed=args.seed, drain=args.drain
+        result = _service_query(
+            "saturation",
+            {"n": args.n, "cycles": args.cycles, "seed": args.seed,
+             "drain": args.drain},
+            args,
         )
         print(
-            f"saturation per-node rate for n={args.n}: {r:.4f} "
-            f"(paper's 1/(n+1) wall: {1 / (args.n + 1):.4f})"
+            f"saturation per-node rate for n={args.n}: "
+            f"{result['rate_per_node']:.4f} "
+            f"(paper's 1/(n+1) wall: {result['paper_wall']:.4f})"
         )
         return 0
 
@@ -660,19 +747,14 @@ def _cmd_isn_layout(args) -> int:
 
 
 def _cmd_benes(args) -> int:
-    import json
     import random
     import time
 
-    import numpy as np
-
     from .algorithms.benes_routing import (
         apply_settings,
-        apply_settings_batch,
         apply_settings_legacy,
         route_permutation,
         route_permutation_legacy,
-        route_permutations,
     )
 
     if args.perm is not None:
@@ -688,25 +770,50 @@ def _cmd_benes(args) -> int:
     report: dict = {"n": n, "terminals": N, "switches": total_switches}
 
     if args.batch:
-        rng = np.random.default_rng(args.seed)
-        perms = np.array([rng.permutation(N) for _ in range(args.batch)])
         t0 = time.perf_counter()
-        batch = route_permutations(perms, workers=args.workers)
-        route_s = time.perf_counter() - t0
-        realized = apply_settings_batch(batch)
-        ok = bool(np.array_equal(realized, perms))
-        counts = batch.count_crossed()
+        if args.workers:
+            # an explicit worker count means "route right here, fanned
+            # out" — workers shape the compute, never the answer, so
+            # they are not part of any cache key
+            import numpy as np
+
+            from .algorithms.benes_routing import (
+                apply_settings_batch,
+                route_permutations,
+            )
+
+            rng = np.random.default_rng(args.seed)
+            perms = np.array([rng.permutation(N) for _ in range(args.batch)])
+            batch = route_permutations(perms, workers=args.workers)
+            counts = batch.count_crossed()
+            result = {
+                "realized_ok": bool(
+                    np.array_equal(apply_settings_batch(batch), perms)
+                ),
+                "crossed": {
+                    "min": int(counts.min()),
+                    "mean": float(counts.mean()),
+                    "max": int(counts.max()),
+                },
+            }
+        else:
+            result = _service_query(
+                "benes",
+                {"n": n, "batch": args.batch, "seed": args.seed},
+                args,
+            )
+        query_s = time.perf_counter() - t0
+        ok = result["realized_ok"]
+        c = result["crossed"]
         print(
-            f"batch: {args.batch} perms, N={N}, routed in {route_s:.3f} s, "
+            f"batch: {args.batch} perms, N={N}, answered in {query_s:.3f} s, "
             f"crossed switches min/mean/max "
-            f"{int(counts.min())}/{counts.mean():.1f}/{int(counts.max())} "
+            f"{c['min']}/{c['mean']:.1f}/{c['max']} "
             f"of {total_switches}, realized={'OK' if ok else 'MISMATCH'}"
         )
         report.update(
             mode="batch", batch=args.batch, seed=args.seed,
-            route_seconds=route_s, realized_ok=ok,
-            crossed={"min": int(counts.min()), "mean": float(counts.mean()),
-                     "max": int(counts.max())},
+            query_seconds=query_s, realized_ok=ok, crossed=c,
         )
     else:
         route = route_permutation_legacy if args.legacy else route_permutation
@@ -740,12 +847,68 @@ def _cmd_benes(args) -> int:
             mode="legacy" if args.legacy else "single",
             permutations=perm_rows, realized_ok=ok,
         )
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
-            fh.write("\n")
-        print(f"wrote {args.json}")
+    _write_json(report, args.json)
     return 0 if report["realized_ok"] else 1
+
+
+def _cmd_serve(args) -> int:
+    from .service import ArtifactStore, default_cache_dir, make_server
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    store = None if args.no_cache else ArtifactStore(cache_dir)
+    srv = make_server(args.host, args.port, store=store, quiet=args.quiet)
+    host, port = srv.server_address[:2]
+    print(
+        f"repro serve: http://{host}:{port} "
+        f"(cache: {'off' if store is None else cache_dir})"
+    )
+    try:
+        if args.max_requests is not None:
+            for _ in range(args.max_requests):
+                srv.handle_request()
+        else:  # pragma: no cover - interactive loop
+            srv.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive loop
+        pass
+    finally:
+        srv.server_close()
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .service import ArtifactStore, default_cache_dir
+
+    store = ArtifactStore(args.cache_dir or default_cache_dir())
+    if args.action == "ls":
+        entries = store.ls()
+        if entries:
+            print(format_table([e.as_row() for e in entries]))
+        s = store.stats()
+        print(
+            f"{s['entries']} entries, {s['bytes']} bytes, "
+            f"{s['quarantined']} quarantined  [{store.root}]"
+        )
+        _write_json({"action": "ls", **s}, args.json)
+        return 0
+    if args.action == "verify":
+        rep = store.verify()
+        print(
+            f"verified {rep['checked']} entries: {rep['ok']} ok, "
+            f"{rep['quarantined']} corrupt (quarantined)"
+        )
+        for key in rep["corrupt"]:
+            print(f"  CORRUPT {key}")
+        _write_json({"action": "verify", **rep}, args.json)
+        return 1 if rep["corrupt"] else 0
+    # gc
+    max_age_s = (
+        args.max_age_days * 86400.0 if args.max_age_days is not None else None
+    )
+    rep = store.gc(max_age_s=max_age_s)
+    print(f"gc: removed {rep['removed']} entries, "
+          f"freed {rep['freed_bytes']} bytes")
+    _write_json({"action": "gc", **rep}, args.json)
+    return 0
 
 
 def _cmd_fft(args) -> int:

@@ -8,6 +8,22 @@ from hypothesis import strategies as st
 from repro.topology.swap import SwapNetworkParams
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the design-service cache at a per-session directory so CLI
+    tests never touch (or depend on) the user's real cache."""
+    import os
+
+    path = str(tmp_path_factory.mktemp("repro-cache"))
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = path
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:  # pragma: no cover - depends on the invoking environment
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 @pytest.fixture(scope="session")
 def small_param_vectors():
     """A representative spread of ISN parameter vectors (kept small so the

@@ -4,6 +4,8 @@ import math
 from fractions import Fraction
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.analysis.bounds import (
     collinear_track_lower_bound,
@@ -100,6 +102,21 @@ class TestFormulas:
         with pytest.raises(ValueError):
             offmodule_avg_per_node(1, 3)
 
+    def test_offmodule_bounds_validation_regression(self):
+        """The bounds chain used to skip the ``l >= 2, k1 >= 1`` check its
+        sibling :func:`offmodule_avg_per_node` enforces: ``l = 1``
+        returned the vacuous pair ``(0, 4/k1)`` and ``k1 = 0`` built the
+        undefined fraction ``4/0``.  Both must now raise, exactly like
+        the display function."""
+        for l, k1 in ((1, 3), (0, 3), (3, 0), (1, 0)):
+            with pytest.raises(ValueError):
+                offmodule_avg_upper_bounds(l, k1)
+            with pytest.raises(ValueError):
+                offmodule_avg_per_node(l, k1)
+        # boundary of validity still works and keeps the chain ordered
+        lo, hi = offmodule_avg_upper_bounds(2, 1)
+        assert offmodule_avg_per_node(2, 1) < lo < hi
+
     def test_node_side_thresholds(self):
         assert max_node_side_multilayer(9, 2) == pytest.approx(
             max_node_side_thompson(9) / 2
@@ -174,6 +191,35 @@ class TestComparison:
         out = format_table([{"a": 1, "b": 2}], columns=["b"])
         assert "a" not in out.splitlines()[0]
 
+    def test_format_table_nonfinite_regression(self):
+        """Non-finite floats used to fall through the magnitude branches
+        (``abs(nan) >= 1e6`` is False for every comparison) and render as
+        platform-spelled ``nan``/``inf``; they must come out as the
+        explicit ``NaN`` / ``+Inf`` / ``-Inf`` tokens."""
+        out = format_table(
+            [{"a": float("nan"), "b": float("inf"), "c": float("-inf")}]
+        )
+        body = out.splitlines()[2]
+        assert "NaN" in body and "+Inf" in body and "-Inf" in body
+        assert "nan" not in body and "inf" not in body.replace("Inf", "")
+
+    def test_format_table_mixed_types_and_alignment(self):
+        rows = [
+            {"name": "grid", "area": 82820, "ratio": 0.0, "ok": True},
+            {"name": "collinear-long", "area": 9, "ratio": float("nan"), "ok": False},
+        ]
+        out = format_table(rows)
+        lines = out.splitlines()
+        # numeric cells right-justified: the short int lines up with the
+        # last digit of the long one; strings and bools stay left.
+        assert lines[2].startswith("grid ")
+        assert lines[3].startswith("collinear-long")
+        a2 = lines[2].index("82820") + len("82820")
+        a3 = lines[3].rindex("9", 0, a2 + 1) + 1
+        assert a2 == a3, "int cells must share their right edge"
+        assert "0" in lines[2] and "NaN" in lines[3]
+        assert "True" in lines[2] and "False" in lines[3]
+
 
 class TestWireStats:
     def test_stats_and_histogram(self):
@@ -188,6 +234,54 @@ class TestWireStats:
         assert s.mean <= s.max and s.median <= s.p90 <= s.p99 <= s.max
         hist = length_histogram(cl.layout, [20, 50, 100])
         assert sum(c for _b, c in hist) == 36
+
+    def test_histogram_zero_length_regression(self):
+        """Every bin used to be left-open — with ``lo = 0.0`` the first
+        bin was ``(0, b0]``, silently dropping zero-length wires, so bin
+        counts did not sum to the wire count.  The first bin is now
+        closed at 0 (labelled ``[0, b0]``)."""
+        import numpy as np
+
+        from repro.analysis.wirestats import length_histogram
+
+        class _Stub:
+            class _Table:
+                @staticmethod
+                def wire_lengths():
+                    return np.array([0, 0, 3, 20, 100], dtype=np.int64)
+
+            def wire_table(self):
+                return self._Table()
+
+        hist = length_histogram(_Stub(), [20, 50])
+        assert hist[0] == ("[0, 20]", 4)  # old code counted 2 (dropped the zeros)
+        assert hist[1] == ("(20, 50]", 0)
+        assert hist[2] == ("> 50", 1)
+        assert sum(c for _b, c in hist) == 5
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), max_size=60),
+        st.lists(
+            st.integers(min_value=1, max_value=400), min_size=1, max_size=6, unique=True
+        ),
+    )
+    def test_histogram_bins_sum_to_wire_count(self, lengths, edges):
+        """Property: histogram counts always partition the wires."""
+        import numpy as np
+
+        from repro.analysis.wirestats import length_histogram
+
+        class _Stub:
+            class _Table:
+                @staticmethod
+                def wire_lengths():
+                    return np.asarray(lengths, dtype=np.int64)
+
+            def wire_table(self):
+                return self._Table()
+
+        hist = length_histogram(_Stub(), sorted(edges))
+        assert sum(c for _b, c in hist) == len(lengths)
 
     def test_empty_layout_rejected(self):
         import pytest as _pytest

@@ -181,6 +181,130 @@ class TestCommands:
         assert svg.exists()
 
 
+class TestServiceRoundTrip:
+    """--json round trips through the cached service layer, plus the
+    cache admin subcommands."""
+
+    def test_dims_json_roundtrip(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "dims.json"
+        assert main(["dims", "--ks", "2,2,2", "--layers", "4",
+                     "--json", str(out_json)]) == 0
+        data = json.loads(out_json.read_text())
+        assert data["kind"] == "dims"
+        assert data["params"] == {
+            "ks": [2, 2, 2], "layers": 4, "node_side": 4,
+        }
+        assert data["summary"]["area"] > 0
+
+    def test_layout_json_roundtrip(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "layout.json"
+        assert main(["layout", "--ks", "1,1,1", "--json", str(out_json)]) == 0
+        data = json.loads(out_json.read_text())
+        assert data["kind"] == "layout" and data["valid"]
+        assert data["params"]["ks"] == [1, 1, 1]
+        assert data["summary"]["wires"] > 0
+        assert "p99" in data["wire_stats"]
+
+    def test_package_json_roundtrip(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "package.json"
+        assert main(["package", "--ks", "2,2,2", "--json",
+                     str(out_json)]) == 0
+        data = json.loads(out_json.read_text())
+        assert data["mode"] == "report" and data["all_match"]
+        assert {s["scheme"] for s in data["schemes"]} == {
+            "row", "nucleus", "naive",
+        }
+
+    def test_benes_json_roundtrip(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "benes.json"
+        assert main(["benes", "-n", "4", "--batch", "6", "--seed", "9",
+                     "--json", str(out_json)]) == 0
+        data = json.loads(out_json.read_text())
+        assert data["mode"] == "batch" and data["realized_ok"]
+        assert data["terminals"] == 16 and data["seed"] == 9
+        assert data["crossed"]["max"] <= data["switches"]
+
+    def test_cache_miss_then_hit_same_stdout(self, capsys, tmp_path):
+        argv = ["dims", "--ks", "2,2,2",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "[cache miss" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "[cache hit" in second.err
+        assert first.out == second.out  # cache state never leaks to stdout
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["dims", "--ks", "2,2,2", "--cache-dir", str(cache),
+                     "--no-cache"]) == 0
+        assert "[cache off" in capsys.readouterr().err
+        assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_bad_params_exit_2(self, capsys):
+        # the service cap exits 2, same as argparse's own errors
+        with pytest.raises(SystemExit) as ei:
+            main(["dims", "--ks", "13,13"])  # sum(ks) > 24
+        assert ei.value.code == 2
+        assert "sum(ks) capped" in capsys.readouterr().err
+
+    def test_cache_verify_flags_bitflip(self, capsys, tmp_path):
+        import os
+
+        cache = str(tmp_path / "cache")
+        assert main(["benes", "-n", "3", "--batch", "2",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        payloads = [
+            os.path.join(dirpath, f)
+            for dirpath, _dirs, files in os.walk(cache)
+            for f in files
+            if f == "payload.npz"
+        ]
+        assert payloads
+        with open(payloads[0], "r+b") as fh:
+            fh.seek(80)
+            b = fh.read(1)
+            fh.seek(80)
+            fh.write(bytes([b[0] ^ 0xFF]))
+        assert main(["cache", "verify", "--cache-dir", cache]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt (quarantined)" in out and "CORRUPT" in out
+        # quarantined entry recomputes on the next query ...
+        assert main(["benes", "-n", "3", "--batch", "2",
+                     "--cache-dir", cache]) == 0
+        assert "[cache miss" in capsys.readouterr().err
+        # ... and a clean store verifies clean
+        assert main(["cache", "verify", "--cache-dir", cache]) == 0
+
+    def test_cache_ls_and_gc(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["dims", "--ks", "2,2,2", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "dims" in out and "1 entries" in out
+        assert main(["cache", "gc", "--cache-dir", cache,
+                     "--max-age-days", "0"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_serve_smoke_max_requests_zero(self, capsys, tmp_path):
+        assert main(["serve", "--port", "0", "--max-requests", "0",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--quiet"]) == 0
+        assert "repro serve: http://" in capsys.readouterr().out
+
+
 class TestSim:
     def test_single_run(self, capsys):
         assert main(["sim", "-n", "3", "--rate", "0.6", "--cycles", "200"]) == 0

@@ -25,6 +25,7 @@ Usage::
     PYTHONPATH=src python tools/bench_harness.py --layout-smoke  # layout only
     PYTHONPATH=src python tools/bench_harness.py --packaging-smoke  # pins only
     PYTHONPATH=src python tools/bench_harness.py --benes-smoke  # benes only
+    PYTHONPATH=src python tools/bench_harness.py --serve-smoke  # service only
     PYTHONPATH=src python tools/bench_harness.py --max-n 12 --out /tmp/b.json
 
 Methodology: each timed section runs ``gc.collect()`` first and reports
@@ -521,6 +522,130 @@ def bench_benes(
     return entry
 
 
+def bench_serve(ks: Sequence[int], warm_repeats: int = 5) -> Dict:
+    """Cached design-query service: cold compute vs warm cache hit.
+
+    Runs the ``layout`` query against a throwaway artifact store — the
+    cold call builds, validates and serializes the layout; the warm
+    calls must read it back from disk.  Gates on the warm result being
+    byte-identical (canonical JSON) to the cold one; the full-run
+    acceptance floor is a 100x warm speedup at ``B_12``.
+    """
+    from repro.service import ArtifactStore, canonical_json, query  # noqa: PLC0415
+
+    ks = tuple(ks)
+    params = {"ks": list(ks)}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(os.path.join(tmp, "cache"))
+        info_cold: Dict = {}
+        gc.collect()
+        t0 = time.perf_counter()
+        cold = query("layout", dict(params), store=store, info=info_cold)
+        cold_s = time.perf_counter() - t0
+
+        warm = None
+        info_warm: Dict = {}
+        warm_s = float("inf")
+        for _ in range(warm_repeats):
+            info_warm = {}
+            t0 = time.perf_counter()
+            warm = query("layout", dict(params), store=store, info=info_warm)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+
+        byte_identical = canonical_json(cold) == canonical_json(warm)
+        entry = {
+            "ks": list(ks),
+            "n": sum(ks),
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": cold_s / warm_s if warm_s else None,
+            "warm_repeats": warm_repeats,
+            "cold_status": info_cold.get("cache"),
+            "warm_status": info_warm.get("cache"),
+            "byte_identical": byte_identical,
+            "key": info_cold.get("key"),
+        }
+    print(
+        f"  serve ks={list(ks)}: cold {cold_s:7.3f} s  warm "
+        f"{warm_s * 1e3:7.3f} ms ({entry['speedup']:.0f}x)  "
+        f"{info_cold.get('cache')}/{info_warm.get('cache')}  "
+        f"byte-identical {'OK' if byte_identical else 'FAILED'}"
+    )
+    return entry
+
+
+def bench_serve_http(ks: Sequence[int] = (2, 2, 2)) -> Dict:
+    """HTTP smoke for ``repro serve``: in-process server on an ephemeral
+    port, one cold and one warm ``/v1/layout`` query (bodies must be
+    byte-identical, headers must flip miss -> hit), then a bit-flipped
+    payload that ``ArtifactStore.verify()`` must flag and quarantine."""
+    import threading  # noqa: PLC0415
+    import urllib.request  # noqa: PLC0415
+
+    from repro.service import ArtifactStore, make_server  # noqa: PLC0415
+
+    ks = tuple(ks)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(os.path.join(tmp, "cache"))
+        srv = make_server(host="127.0.0.1", port=0, store=store, quiet=True)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = (
+                f"http://127.0.0.1:{srv.server_address[1]}/v1/layout"
+                f"?ks={','.join(map(str, ks))}"
+            )
+            gc.collect()
+            t0 = time.perf_counter()
+            with urllib.request.urlopen(url) as resp:
+                cold_body = resp.read()
+                cold_status = resp.headers.get("X-Repro-Cache")
+            cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            with urllib.request.urlopen(url) as resp:
+                warm_body = resp.read()
+                warm_status = resp.headers.get("X-Repro-Cache")
+            warm_s = time.perf_counter() - t0
+        finally:
+            srv.shutdown()
+            thread.join(timeout=10)
+            srv.server_close()
+
+        # flip one payload byte on disk; verify() must catch it
+        payloads = [
+            os.path.join(dirpath, f)
+            for dirpath, _dirs, files in os.walk(os.path.join(tmp, "cache"))
+            for f in files
+            if f == "payload.npz"
+        ]
+        with open(payloads[0], "r+b") as fh:
+            fh.seek(100)
+            b = fh.read(1)
+            fh.seek(100)
+            fh.write(bytes([b[0] ^ 0xFF]))
+        vrep = store.verify()
+
+    entry = {
+        "ks": list(ks),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s else None,
+        "cold_status": cold_status,
+        "warm_status": warm_status,
+        "byte_identical": cold_body == warm_body,
+        "verify_after_bitflip": vrep,
+        "corruption_caught": len(vrep["corrupt"]) >= 1
+        and vrep["quarantined"] >= 1,
+    }
+    print(
+        f"  serve http ks={list(ks)}: cold {cold_s * 1e3:7.2f} ms "
+        f"({cold_status})  warm {warm_s * 1e3:7.2f} ms ({warm_status})  "
+        f"byte-identical {'OK' if entry['byte_identical'] else 'FAILED'}  "
+        f"bit-flip {'caught' if entry['corruption_caught'] else 'MISSED'}"
+    )
+    return entry
+
+
 def run_curated_benches(benches: Sequence[str]) -> Optional[List[Dict]]:
     """Run the curated pytest-benchmark subset; fold in its stats."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -575,6 +700,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     help="Benes routing engine smoke only: bit-for-bit "
                          "settings parity vs the recursion and batched "
                          "speedup at a CI-sized batch")
+    ap.add_argument("--serve-smoke", action="store_true",
+                    help="cached design-query service smoke only: HTTP "
+                         "cold/warm byte-identity, warm >= 2x cold, and "
+                         "bit-flip corruption detection")
     ap.add_argument("--max-n", type=int, default=16,
                     help="largest butterfly dimension to construct (default 16)")
     ap.add_argument("--repeats", type=int, default=3,
@@ -679,6 +808,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         return 0
 
+    if args.serve_smoke:
+        print("service smoke (HTTP byte-identity + corruption detection):")
+        entry = bench_serve_http(ks=(2, 2, 2))
+        report = {
+            "generated": date,
+            "serve_smoke": True,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "serve": entry,
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+        if not entry["byte_identical"]:
+            print("ERROR: warm HTTP response differs from the cold compute",
+                  file=sys.stderr)
+            return 1
+        if entry["warm_status"] != "hit" or entry["cold_status"] != "miss":
+            print(f"ERROR: cache headers wrong (cold "
+                  f"{entry['cold_status']}, warm {entry['warm_status']})",
+                  file=sys.stderr)
+            return 1
+        if not entry["corruption_caught"]:
+            print("ERROR: bit-flipped payload not quarantined by verify()",
+                  file=sys.stderr)
+            return 1
+        if entry["speedup"] < 2.0:
+            print(f"WARNING: warm hit speedup {entry['speedup']:.1f}x below "
+                  f"2x smoke floor", file=sys.stderr)
+            return 1
+        return 0
+
     if args.sim_smoke:
         print("queued-routing smoke (parity + speedup + trace export):")
         entry = bench_queued_routing(
@@ -735,6 +898,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         benes = bench_benes(n=10, batch=1000, repeats=max(repeats, 3),
                             legacy_count=25, parity_rows=10)
+    print("cached design-query service (cold compute vs warm hit):")
+    serve = bench_serve(max(val_ks, key=sum), warm_repeats=5)
     curated = None
     if not args.smoke:
         print("curated benchmark subset:")
@@ -753,6 +918,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "queued_routing": queued,
         "packaging": packaging,
         "benes_routing": benes,
+        "serve": serve,
         "curated_benchmarks": curated,
     }
     with open(out_path, "w") as fh:
@@ -806,6 +972,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.smoke and benes["speedup"] < 10.0:
         print(f"WARNING: benes speedup {benes['speedup']:.1f}x below the "
               f"10x acceptance floor", file=sys.stderr)
+        return 1
+    if not serve["byte_identical"]:
+        print("ERROR: warm cache hit differs byte-for-byte from the cold "
+              "compute", file=sys.stderr)
+        return 1
+    if not args.smoke and serve["speedup"] < 100.0:
+        print(f"WARNING: warm-hit speedup {serve['speedup']:.0f}x at "
+              f"ks={serve['ks']} below the 100x acceptance floor",
+              file=sys.stderr)
         return 1
     return 0
 
