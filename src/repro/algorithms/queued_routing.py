@@ -708,9 +708,13 @@ def saturation_per_node_rate(
     """Largest tested per-node rate whose accepted fraction stays within
     ``threshold`` of offered load (bisection over per-input rates).
 
-    The bracket floor (per-input 0.1) is probed first: if even that
-    saturates, the network has no feasible tested rate and the function
-    returns 0.0 instead of misreporting the floor as a saturation point.
+    Both bracket ends are probed before bisecting.  The floor (per-input
+    0.1): if even that saturates, the network has no feasible tested
+    rate and the function returns 0.0 instead of misreporting the floor
+    as a saturation point.  The ceiling (per-input 1.0): if the network
+    stays unsaturated at full injection, the answer is the full rate
+    ``1.0 / (n + 1)`` itself — bisecting would converge to ~0.986 of it
+    and misreport an arbitrary bracket edge as a saturation point.
     """
     lo, hi = 0.1, 1.0
 
@@ -721,6 +725,9 @@ def saturation_per_node_rate(
 
     if accepted(lo) < threshold:
         return 0.0
+    if accepted(hi) >= threshold:
+        # unsaturated at full per-input rate: the ceiling is the answer
+        return hi / (n + 1)
     best = lo
     for _ in range(6):
         mid = (lo + hi) / 2

@@ -1,0 +1,116 @@
+"""Pareto frontier over a campaign's completed points.
+
+The paper's design question is a trade — chip area against total wire
+length against pins per module against wiring layers — so the campaign's
+headline artifact is the set of grid points no other point beats on
+*every* axis at once.  All four objectives are minimized:
+
+``area``
+    layout bounding-box area (layout stage).
+``total_wire_length``
+    summed wire length (layout stage).
+``pins``
+    best exact pins/module across partition schemes (package stage).
+``layers``
+    wiring layers L (the point's own axis value).
+
+Only points whose layout validated and whose package stage completed
+are eligible; failed or skipped points are counted but never ranked.
+The frontier is emitted as deterministic JSON (stable sort: objective
+tuple, then point id) plus a rendered table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.comparison import format_table
+
+__all__ = ["OBJECTIVES", "pareto_frontier", "render_frontier"]
+
+OBJECTIVES = ("area", "total_wire_length", "pins", "layers")
+
+
+def _objectives(point_entry: Dict) -> Optional[Dict[str, int]]:
+    """The point's objective vector, or ``None`` if ineligible."""
+    stages = point_entry.get("stages", {})
+    layout = stages.get("layout", {})
+    package = stages.get("package", {})
+    if layout.get("status") != "ok" or package.get("status") != "ok":
+        return None
+    lsum, psum = layout.get("summary") or {}, package.get("summary") or {}
+    if not lsum.get("valid"):
+        return None
+    return {
+        "area": int(lsum["area"]),
+        "total_wire_length": int(lsum["total_wire_length"]),
+        "pins": int(psum["pins"]),
+        "layers": int(lsum["layers"]),
+    }
+
+
+def _dominates(a: Dict[str, int], b: Dict[str, int]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and strictly
+    better somewhere (all objectives minimized)."""
+    no_worse = all(a[k] <= b[k] for k in OBJECTIVES)
+    better = any(a[k] < b[k] for k in OBJECTIVES)
+    return no_worse and better
+
+
+def pareto_frontier(manifest: Dict) -> Dict:
+    """The frontier document for a run manifest (see module docstring)."""
+    candidates: List[Dict] = []
+    skipped = 0
+    for entry in manifest.get("points", []):
+        obj = _objectives(entry)
+        if obj is None:
+            skipped += 1
+            continue
+        candidates.append(
+            {
+                "id": entry["id"],
+                "ks": entry["params"]["ks"],
+                "n": entry["params"]["n"],
+                "rate": entry["params"]["rate"],
+                "pin_limit": entry["params"]["pin_limit"],
+                **obj,
+            }
+        )
+    frontier = [
+        c for c in candidates
+        if not any(_dominates(o, c) for o in candidates if o is not c)
+    ]
+    frontier.sort(
+        key=lambda c: tuple(c[k] for k in OBJECTIVES) + (c["id"],)
+    )
+    return {
+        "objectives": list(OBJECTIVES),
+        "points": frontier,
+        "considered": len(candidates),
+        "dominated": len(candidates) - len(frontier),
+        "ineligible": skipped,
+    }
+
+
+def render_frontier(frontier: Dict) -> str:
+    """Human-readable frontier table (plus the coverage counts)."""
+    rows = [
+        {
+            "point": c["id"],
+            "ks": tuple(c["ks"]),
+            "n": c["n"],
+            "area": c["area"],
+            "wire len": c["total_wire_length"],
+            "pins": c["pins"],
+            "layers": c["layers"],
+        }
+        for c in frontier["points"]
+    ]
+    table = format_table(rows) if rows else "(empty frontier)"
+    return (
+        f"{table}\n"
+        f"{len(frontier['points'])} frontier point(s) of "
+        f"{frontier['considered']} considered "
+        f"({frontier['dominated']} dominated, "
+        f"{frontier['ineligible']} ineligible)\n"
+    )

@@ -35,6 +35,13 @@ Commands mirror the library's main entry points:
 ``serve``       HTTP design-query service over the artifact cache
                 (``--port``, ``--cache-dir``; see
                 :mod:`repro.service.server` for the routes)
+``campaign``    checkpointed design-space sweeps: ``run`` expands a
+                JSON/flag-declared grid into staged jobs (layout ->
+                validate -> package -> benes -> saturation) sharded
+                across ``--workers``, checkpointing every stage under
+                ``runs/<run_id>/``; ``resume`` re-runs only the
+                missing/damaged checkpoints (byte-identical outputs);
+                ``status`` and ``frontier`` inspect a run tree
 ``cache``       artifact-cache admin: ``ls`` entries, ``verify``
                 (re-hash everything, quarantine corruption), ``gc``
 ==============  ========================================================
@@ -80,6 +87,22 @@ def _int_list(value: str) -> tuple:
         return tuple(int(x) for x in value.replace(" ", "").split(",") if x)
     except ValueError as e:
         raise argparse.ArgumentTypeError(f"bad int list {value!r}") from e
+
+
+def _pin_list(value: str) -> tuple:
+    """Comma list of pin limits; ``none``/``null`` means unlimited."""
+    out = []
+    for x in value.replace(" ", "").split(","):
+        if not x:
+            continue
+        if x.lower() in ("none", "null", "-"):
+            out.append(None)
+            continue
+        try:
+            out.append(int(x))
+        except ValueError as e:
+            raise argparse.ArgumentTypeError(f"bad pin limit {x!r}") from e
+    return tuple(out)
 
 
 def _add_cache_opts(sp: argparse.ArgumentParser) -> None:
@@ -255,6 +278,64 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--quiet", action="store_true",
                     help="suppress per-request access logging")
     _add_cache_opts(sv)
+
+    cg = sub.add_parser(
+        "campaign", help="checkpointed design-space sweeps over the grid"
+    )
+    cgs = cg.add_subparsers(dest="action", required=True)
+
+    cr = cgs.add_parser("run", help="expand a grid and run every stage")
+    cr.add_argument("--grid", type=str, default=None,
+                    help="JSON grid file (authoritative; see "
+                         "repro.campaign.grid for the schema)")
+    cr.add_argument("--ks", type=_ks, action="append", default=None,
+                    help="inline axis: repeatable parameter vector, "
+                         "e.g. --ks 2,1,1 --ks 2,2,1")
+    cr.add_argument("--layers", type=_int_list, default=None,
+                    help="inline axis: comma list of wiring layers L")
+    cr.add_argument("--pin-limit", type=_pin_list, default=None,
+                    help="inline axis: comma list of pins/module caps "
+                         "('none' = unlimited)")
+    cr.add_argument("--rates", type=_float_list, default=None,
+                    help="inline axis: comma list of injection rates")
+    cr.add_argument("--node-side", type=int, default=None)
+    cr.add_argument("--track-order", choices=["forward", "reversed"],
+                    default=None)
+    cr.add_argument("--cycles", type=int, default=None)
+    cr.add_argument("--warmup", type=int, default=None)
+    cr.add_argument("--benes-batch", type=int, default=None)
+    cr.add_argument("--sat-max-n", type=int, default=None,
+                    help="run the saturation bisection only when n <= this")
+    cr.add_argument("--seed", type=int, default=None,
+                    help="campaign base seed (per-point seeds derive)")
+    cr.add_argument("--run-id", type=str, default=None,
+                    help="run directory name (default c<spec digest>)")
+    cr.add_argument("--runs-dir", type=str, default="runs",
+                    help="parent directory for run trees (default runs/)")
+    cr.add_argument("--workers", type=int, default=None,
+                    help="multiprocessing workers sharding the points")
+    cr.add_argument("--json", type=str, default=None,
+                    help="write the run summary as JSON")
+    cr.add_argument("--cache-dir", type=str, default=None,
+                    help="artifact-cache directory (default "
+                         "<run dir>/cache, so artifacts live in the run "
+                         "tree and double as cache entries)")
+    cr.add_argument("--no-cache", action="store_true",
+                    help="compute without reading or writing the cache")
+
+    for name, hlp in (
+        ("resume", "re-run only missing/damaged checkpoints of a run"),
+        ("status", "per-stage completion summary of a run tree"),
+        ("frontier", "Pareto frontier of a run's completed points"),
+    ):
+        sp = cgs.add_parser(name, help=hlp)
+        sp.add_argument("run_dir", type=str, help="runs/<run_id> directory")
+        sp.add_argument("--json", type=str, default=None,
+                        help="write the report as JSON")
+        if name == "resume":
+            sp.add_argument("--workers", type=int, default=None)
+            sp.add_argument("--cache-dir", type=str, default=None)
+            sp.add_argument("--no-cache", action="store_true")
 
     ca = sub.add_parser(
         "cache", help="artifact-cache admin: ls / verify / gc"
@@ -873,6 +954,131 @@ def _cmd_serve(args) -> int:
     finally:
         srv.server_close()
     return 0
+
+
+def _campaign_spec(args) -> dict:
+    """The grid spec the flags declare: ``--grid`` file verbatim, else
+    the inline axes + config flags."""
+    import json
+
+    if args.grid is not None:
+        if args.ks is not None:
+            print("campaign run: --grid and --ks are exclusive",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        with open(args.grid) as fh:
+            return json.load(fh)
+    if not args.ks:
+        print("campaign run: give --grid FILE or at least one --ks",
+              file=sys.stderr)
+        raise SystemExit(2)
+    spec: dict = {"ks": [list(ks) for ks in args.ks]}
+    for axis, value in (
+        ("layers", args.layers),
+        ("pin_limit", args.pin_limit),
+        ("rate", args.rates),
+    ):
+        if value is not None:
+            spec[axis] = list(value)
+    config = {
+        k: v
+        for k, v in (
+            ("node_side", args.node_side),
+            ("track_order", args.track_order),
+            ("cycles", args.cycles),
+            ("warmup", args.warmup),
+            ("benes_batch", args.benes_batch),
+            ("sat_max_n", args.sat_max_n),
+            ("seed", args.seed),
+        )
+        if v is not None
+    }
+    if config:
+        spec["config"] = config
+    return spec
+
+
+def _campaign_report(summary: dict) -> None:
+    c = summary["counts"]
+    print(
+        f"campaign {summary['run_id']}: {summary['points']} point(s), "
+        f"{summary['stages_run']} stage(s) run this pass, "
+        f"{c['complete']} complete, {c['failed']} failed, "
+        f"{summary['frontier_points']} on the frontier"
+    )
+    print(f"run tree: {summary['run_dir']}")
+
+
+def _cmd_campaign(args) -> int:
+    import os
+
+    from .campaign import (
+        CampaignError,
+        GridError,
+        build_manifest,
+        load_run,
+        pareto_frontier,
+        render_frontier,
+        resume_run,
+        run_status,
+        start_run,
+    )
+
+    try:
+        if args.action == "run":
+            summary = start_run(
+                _campaign_spec(args),
+                runs_dir=args.runs_dir,
+                run_id=args.run_id,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                workers=args.workers,
+                log=print,
+            )
+            _campaign_report(summary)
+            with open(os.path.join(summary["run_dir"], "frontier.txt")) as fh:
+                print(fh.read(), end="")
+            _write_json(summary, args.json)
+            return 0 if summary["counts"]["failed"] == 0 else 1
+
+        if args.action == "resume":
+            summary = resume_run(
+                args.run_dir,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                workers=args.workers,
+                log=print,
+            )
+            _campaign_report(summary)
+            _write_json(summary, args.json)
+            return 0 if summary["counts"]["failed"] == 0 else 1
+
+        if args.action == "status":
+            status = run_status(args.run_dir)
+            rows = [
+                {"stage": stage, **counts}
+                for stage, counts in status["stage_counts"].items()
+            ]
+            print(
+                f"campaign {status['run_id']} "
+                f"[spec {status['spec_digest']}]: "
+                f"{status['counts']['complete']}/{status['counts']['points']} "
+                f"point(s) complete, {status['counts']['failed']} failed"
+            )
+            print(format_table(rows))
+            _write_json(status, args.json)
+            return 0
+
+        # frontier: recompute from the on-disk records (read-only, so it
+        # also works on a live or interrupted run)
+        grid, run_id = load_run(args.run_dir)
+        frontier = pareto_frontier(build_manifest(args.run_dir, grid, run_id))
+        print(render_frontier(frontier), end="")
+        _write_json(frontier, args.json)
+        return 0
+    except (CampaignError, GridError) as e:
+        print(f"campaign: {e}", file=sys.stderr)
+        return 2
 
 
 def _cmd_cache(args) -> int:

@@ -248,7 +248,6 @@ class Wire:
     @property
     def endpoints(self) -> Tuple[Point, Point]:
         """First and last points of the path (terminal attachment points)."""
-        first, last = self.segments[0], self.segments[-1]
         pts = self.path_points()
         return pts[0], pts[-1]
 

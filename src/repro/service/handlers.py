@@ -18,6 +18,9 @@ cached path:
     crossing statistics, the switch-settings tensor as the payload.
 ``saturation``
     bisection search for the queued-routing saturation rate (no payload).
+``sim``
+    one seeded queued-routing run at a fixed injection rate; throughput,
+    accepted fraction, latency and queue statistics (no payload).
 
 Results are plain JSON-native dicts and contain **no timings or other
 nondeterminism** — a warm hit must serve bytes identical to the cold
@@ -108,6 +111,12 @@ def _bounded_int(lo: int, hi: int) -> Callable[[object, str], int]:
         return i
     return conv
 
+def _rate(v: object, name: str) -> float:
+    f = _as_float(v, name)
+    if not 0.0 < f <= 1.0:
+        raise QueryError(f"{name} must be in (0, 1], got {f}")
+    return f
+
 def _optional(conv: Callable[[object, str], object]) -> Callable:
     def wrapped(v: object, name: str) -> object:
         if v is None or v == "":
@@ -146,6 +155,14 @@ PARAM_SPECS: Dict[str, Dict[str, Tuple[Callable, object]]] = {
         "n": (_bounded_int(1, 12), ...),
         "cycles": (_bounded_int(1, 1_000_000), 1500),
         "threshold": (_as_float, 0.95),
+        "seed": (_bounded_int(0, 2**31 - 1), 0),
+        "drain": (_optional(_bounded_int(1, 1_000_000)), None),
+    },
+    "sim": {
+        "n": (_bounded_int(1, 12), ...),
+        "rate": (_rate, ...),
+        "cycles": (_bounded_int(1, 1_000_000), 600),
+        "warmup": (_bounded_int(0, 1_000_000), 100),
         "seed": (_bounded_int(0, 2**31 - 1), 0),
         "drain": (_optional(_bounded_int(1, 1_000_000)), None),
     },
@@ -358,12 +375,34 @@ def _compute_saturation(p: Dict[str, object]) -> Tuple[Dict, Arrays]:
     }, None
 
 
+def _compute_sim(p: Dict[str, object]) -> Tuple[Dict, Arrays]:
+    from ..algorithms.queued_routing import simulate_butterfly_queued
+
+    res = simulate_butterfly_queued(
+        p["n"], p["rate"], cycles=p["cycles"], warmup=p["warmup"],
+        seed=p["seed"], drain=p["drain"],
+    )
+    latency = float(res.avg_latency)
+    return {
+        "kind": "sim",
+        "params": p,
+        "offered": int(res.offered),
+        "delivered": int(res.delivered_total),
+        "throughput_per_input": float(res.throughput_per_input),
+        "accepted_fraction": float(res.accepted_fraction),
+        # inf (nothing completed) is not strict JSON; serve null instead
+        "avg_latency": latency if math.isfinite(latency) else None,
+        "max_queue": int(res.max_queue),
+    }, None
+
+
 _COMPUTE: Dict[str, Callable[[Dict], Tuple[Dict, Arrays]]] = {
     "layout": _compute_layout,
     "dims": _compute_dims,
     "package": _compute_package,
     "benes": _compute_benes,
     "saturation": _compute_saturation,
+    "sim": _compute_sim,
 }
 
 

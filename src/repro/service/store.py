@@ -57,8 +57,10 @@ __all__ = [
 
 #: Bump when the manifest layout or any handler's result schema changes:
 #: the version is part of the cache key, so old entries simply stop
-#: matching instead of being served with a stale shape.
-SCHEMA_VERSION = 1
+#: matching instead of being served with a stale shape.  v2: the
+#: ``saturation`` bisection now probes the 1.0 bracket ceiling (old
+#: entries carried the ~0.986 artifact) and the ``sim`` kind exists.
+SCHEMA_VERSION = 2
 
 _MANIFEST = "manifest.json"
 _PAYLOAD = "payload.npz"
@@ -107,7 +109,8 @@ class CacheEntry:
     key: str
     kind: str
     params: Dict[str, object]
-    created: float  # unix seconds (entry mtime)
+    created: float  # unix seconds (recorded in the manifest at put time)
+    last_access: float  # unix seconds (manifest mtime, touched on reads)
     size_bytes: int
     has_payload: bool
 
@@ -172,6 +175,7 @@ class ArtifactStore:
         if not self._manifest_ok(key, manifest):
             self.quarantine(key)
             return None
+        self._touch(key)
         return manifest["result"]
 
     def load_arrays(
@@ -193,9 +197,16 @@ class ArtifactStore:
             return None
         if manifest.get("payload") is None:
             return None
+        self._touch(key)
         path = os.path.join(self.entry_dir(key), manifest["payload"]["file"])
         with np.load(path, allow_pickle=False) as npz:
             return {name: npz[name] for name in npz.files}
+
+    def _touch(self, key: str) -> None:
+        """Bump the manifest mtime — the entry's last-access stamp, which
+        age-based :meth:`gc` uses so hot entries never age out."""
+        with contextlib.suppress(OSError):
+            os.utime(os.path.join(self.entry_dir(key), _MANIFEST))
 
     def _read_manifest(self, key: str) -> Optional[Dict]:
         path = os.path.join(self.entry_dir(key), _MANIFEST)
@@ -382,12 +393,17 @@ class ArtifactStore:
                 for f in os.listdir(d)
                 if os.path.isfile(os.path.join(d, f))
             )
+            try:
+                last_access = os.path.getmtime(os.path.join(d, _MANIFEST))
+            except OSError:
+                last_access = 0.0
             out.append(
                 CacheEntry(
                     key=key,
                     kind=manifest.get("kind", "?"),
                     params=manifest.get("params", {}),
                     created=manifest.get("created", 0.0),
+                    last_access=last_access,
                     size_bytes=size,
                     has_payload=manifest.get("payload") is not None,
                 )
@@ -421,7 +437,13 @@ class ArtifactStore:
 
     def gc(self, max_age_s: Optional[float] = None) -> Dict[str, object]:
         """Drop quarantined entries, stale locks, and (optionally)
-        entries older than ``max_age_s``."""
+        entries not *accessed* within ``max_age_s``.
+
+        Age is measured from the entry's last read (:meth:`get` /
+        :meth:`load_arrays` touch the manifest), not its creation time —
+        a hot entry served on every request stays cached no matter how
+        long ago it was computed.
+        """
         removed, freed = 0, 0
         qdir = os.path.join(self.root, "quarantine")
         for name in os.listdir(qdir):
@@ -432,7 +454,7 @@ class ArtifactStore:
         now = time.time()
         if max_age_s is not None:
             for e in self.ls():
-                if now - e.created > max_age_s:
+                if now - e.last_access > max_age_s:
                     path = self.entry_dir(e.key)
                     freed += _tree_size(path)
                     shutil.rmtree(path, ignore_errors=True)

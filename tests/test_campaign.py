@@ -1,0 +1,439 @@
+"""Tests for the checkpointed campaign orchestrator.
+
+The load-bearing property throughout: a campaign's ``manifest.json``
+and ``frontier.json`` are *byte-identical* however the run got there —
+one pass, interrupted-and-resumed, serial or sharded across workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import (
+    CONFIG_DEFAULTS,
+    CampaignError,
+    CampaignPoint,
+    GridError,
+    build_manifest,
+    derive_seed,
+    expand_points,
+    normalize_grid,
+    pareto_frontier,
+    render_frontier,
+    resume_run,
+    run_stage,
+    run_status,
+    spec_digest,
+    stage_argv,
+    start_run,
+)
+from repro.campaign.orchestrator import _load_stage_record, write_json_atomic
+from repro.cli import main
+
+#: Two valid points (the layout engine needs >= 3 levels and k_i <= k1),
+#: sized so the whole pipeline runs in seconds.
+SPEC = {
+    "ks": [[1, 1, 1], [2, 1, 1]],
+    "rate": [0.7],
+    "config": {"cycles": 120, "warmup": 20, "benes_batch": 2,
+               "sat_max_n": 3},
+}
+
+
+def _read(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _outputs(run_dir: str):
+    return (_read(os.path.join(run_dir, "manifest.json")),
+            _read(os.path.join(run_dir, "frontier.json")))
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One uninterrupted serial run of SPEC, shared by the identity
+    tests (they only read it)."""
+    runs = str(tmp_path_factory.mktemp("baseline"))
+    summary = start_run(SPEC, runs_dir=runs, run_id="base")
+    return summary
+
+
+class TestGrid:
+    def test_normalize_fills_defaults(self):
+        g = normalize_grid({"ks": [[2, 1, 1]]})
+        assert g["layers"] == [2] and g["pin_limit"] == [None]
+        assert g["rate"] == [0.8] and g["config"] == CONFIG_DEFAULTS
+
+    def test_normalize_rejects(self):
+        for bad in (
+            [],  # not a dict
+            {},  # no ks
+            {"ks": []},
+            {"ks": [[0, 1]]},
+            {"ks": [[1] * 30]},  # sum cap
+            {"ks": [[1, 1, 1]], "bogus": 1},
+            {"ks": [[1, 1, 1]], "layers": [1]},
+            {"ks": [[1, 1, 1]], "rate": [0.0]},
+            {"ks": [[1, 1, 1]], "pin_limit": [0]},
+            {"ks": [[1, 1, 1]], "config": {"bogus": 1}},
+            {"ks": [[1, 1, 1]], "config": {"track_order": "sideways"}},
+        ):
+            with pytest.raises(GridError):
+                normalize_grid(bad)
+
+    def test_expansion_order_is_stable(self):
+        g = normalize_grid(
+            {"ks": [[1, 1, 1], [2, 1, 1]], "layers": [2, 4],
+             "rate": [0.5, 0.9]}
+        )
+        pts = expand_points(g)
+        assert [p.point_id for p in pts[:3]] == ["p0000", "p0001", "p0002"]
+        assert len(pts) == 8
+        # ks outermost, then layers, then pin_limit, then rate
+        assert (pts[0].ks, pts[0].layers, pts[0].rate) == ((1, 1, 1), 2, 0.5)
+        assert (pts[1].ks, pts[1].layers, pts[1].rate) == ((1, 1, 1), 2, 0.9)
+        assert (pts[4].ks, pts[4].layers) == ((2, 1, 1), 2)
+        assert pts[4].n == 4
+
+    def test_spec_digest_canonical(self):
+        a = normalize_grid({"ks": [[1, 1, 1]], "rate": [0.8]})
+        b = normalize_grid({"rate": [0.8], "ks": [[1, 1, 1]]})
+        assert spec_digest(a) == spec_digest(b)
+        c = normalize_grid({"ks": [[1, 1, 1]], "rate": [0.9]})
+        assert spec_digest(a) != spec_digest(c)
+
+    def test_derive_seed_identity_not_order(self):
+        s = derive_seed(0, "benes", [1, 1, 1])
+        assert s == derive_seed(0, "benes", [1, 1, 1])
+        assert 0 <= s < 2**31 - 1
+        assert s != derive_seed(0, "benes", [2, 1, 1])
+        assert s != derive_seed(1, "benes", [1, 1, 1])
+        assert s != derive_seed(0, "sim", [1, 1, 1])
+
+
+class TestStages:
+    def test_stage_argv_shapes(self):
+        p = CampaignPoint(index=0, ks=(2, 1, 1), layers=2, pin_limit=None,
+                          rate=0.7)
+        cfg = dict(CONFIG_DEFAULTS)
+        assert stage_argv("layout", p, cfg)[:4] == \
+            ["repro", "layout", "--ks", "2,1,1"]
+        assert stage_argv("package", p, cfg)[1] == "package"
+        assert "--batch" in stage_argv("benes", p, cfg)
+        assert "--rate" in stage_argv("saturation", p, cfg)
+        with pytest.raises(ValueError):
+            stage_argv("nope", p, cfg)
+
+    def test_layout_record_shape(self):
+        p = CampaignPoint(index=0, ks=(1, 1, 1), layers=2, pin_limit=None,
+                          rate=0.7)
+        rec = run_stage("layout", p, dict(CONFIG_DEFAULTS), store=None)
+        assert rec["status"] == "ok" and rec["proof"]["rc"] == 0
+        assert rec["summary"]["valid"] and rec["summary"]["area"] == 3360
+        q = rec["proof"]["queries"][0]
+        assert q["kind"] == "layout" and len(q["key"]) == 64
+        assert len(q["result_sha256"]) == 64 and q["verified"]
+
+    def test_engine_rejection_is_deterministic_failure(self):
+        # k_2 > k_1: the layout engine rejects this vector outright
+        p = CampaignPoint(index=0, ks=(1, 2, 1), layers=2, pin_limit=None,
+                          rate=0.7)
+        rec1 = run_stage("layout", p, dict(CONFIG_DEFAULTS), store=None)
+        rec2 = run_stage("layout", p, dict(CONFIG_DEFAULTS), store=None)
+        assert rec1["status"] == "failed" and rec1["proof"]["rc"] == 2
+        assert "k_i <= k1" in rec1["error"]
+        assert rec1 == rec2  # same params -> same failure record
+
+    def test_validate_skips_without_layout(self):
+        p = CampaignPoint(index=0, ks=(1, 1, 1), layers=2, pin_limit=None,
+                          rate=0.7)
+        rec = run_stage("validate", p, dict(CONFIG_DEFAULTS), prior={})
+        assert rec["status"] == "skipped" and rec["summary"] is None
+
+
+class TestFrontier:
+    @staticmethod
+    def _entry(pid, area, wire, pins, layers=2, ok=True):
+        status = "ok" if ok else "failed"
+        return {
+            "id": pid,
+            "params": {"ks": [1, 1, 1], "n": 3, "rate": 0.7,
+                       "pin_limit": None, "layers": layers},
+            "stages": {
+                "layout": {
+                    "status": status,
+                    "summary": {"valid": ok, "area": area,
+                                "total_wire_length": wire, "layers": layers},
+                },
+                "package": {"status": status, "summary": {"pins": pins}},
+            },
+        }
+
+    def test_dominated_points_drop(self):
+        manifest = {"points": [
+            self._entry("p0000", 100, 50, 8),
+            self._entry("p0001", 200, 90, 9),   # dominated by p0000
+            self._entry("p0002", 90, 60, 8),    # trades area for wire
+            self._entry("p0003", 100, 50, 8, ok=False),  # ineligible
+        ]}
+        f = pareto_frontier(manifest)
+        assert [p["id"] for p in f["points"]] == ["p0002", "p0000"]
+        assert f["considered"] == 3 and f["dominated"] == 1
+        assert f["ineligible"] == 1
+
+    def test_ties_all_survive(self):
+        manifest = {"points": [
+            self._entry("p0000", 100, 50, 8),
+            self._entry("p0001", 100, 50, 8),  # equal vector: no dominance
+        ]}
+        f = pareto_frontier(manifest)
+        assert len(f["points"]) == 2 and f["dominated"] == 0
+
+    def test_render_empty_and_nonempty(self):
+        empty = pareto_frontier({"points": []})
+        assert "(empty frontier)" in render_frontier(empty)
+        f = pareto_frontier({"points": [self._entry("p0000", 100, 50, 8)]})
+        txt = render_frontier(f)
+        assert "p0000" in txt and "1 frontier point(s)" in txt
+
+
+class TestOrchestrator:
+    def test_cold_run_completes_and_checkpoints(self, baseline):
+        run_dir = baseline["run_dir"]
+        assert baseline["points"] == 2
+        assert baseline["stages_run"] == 10
+        assert baseline["counts"]["failed"] == 0
+        status = run_status(run_dir)
+        assert status["counts"]["complete"] == 2
+        assert status["outputs_written"]
+        manifest = json.loads(_read(os.path.join(run_dir, "manifest.json")))
+        p0 = manifest["points"][0]
+        assert p0["id"] == "p0000" and p0["complete"]
+        for stage in manifest["stage_order"]:
+            assert p0["stages"][stage]["status"] in ("ok", "skipped")
+            for q in p0["stages"][stage]["queries"]:
+                assert q["verified"]
+
+    def test_noop_resume_is_byte_identical(self, baseline):
+        run_dir = baseline["run_dir"]
+        before = _outputs(run_dir)
+        summary = resume_run(run_dir)
+        assert summary["stages_run"] == 0
+        assert _outputs(run_dir) == before
+
+    def test_damage_resume_is_byte_identical(self, baseline, tmp_path):
+        # fresh run (cache shared with baseline so recompute is cheap)
+        cache = os.path.join(baseline["run_dir"], "cache")
+        runs = str(tmp_path / "runs")
+        s1 = start_run(SPEC, runs_dir=runs, run_id="base", cache_dir=cache)
+        run_dir = s1["run_dir"]
+        before = _outputs(run_dir)
+        assert before == _outputs(baseline["run_dir"])
+        # truncate one in-flight record, delete another, drop the outputs
+        trunc = os.path.join(run_dir, "points", "p0001", "stages",
+                             "package.json")
+        with open(trunc, "r+b") as fh:
+            fh.truncate(17)
+        os.unlink(os.path.join(run_dir, "points", "p0000", "stages",
+                               "benes.json"))
+        os.unlink(os.path.join(run_dir, "manifest.json"))
+        assert _load_stage_record(trunc) is None
+        summary = resume_run(run_dir, cache_dir=cache)
+        assert summary["stages_run"] == 2  # only the damaged checkpoints
+        assert _outputs(run_dir) == before
+
+    def test_tampered_record_fails_seal_and_recomputes(self, baseline,
+                                                       tmp_path):
+        cache = os.path.join(baseline["run_dir"], "cache")
+        runs = str(tmp_path / "runs")
+        s1 = start_run(SPEC, runs_dir=runs, run_id="base", cache_dir=cache)
+        path = os.path.join(s1["run_dir"], "points", "p0000", "stages",
+                            "layout.json")
+        rec = json.loads(_read(path))
+        rec["summary"]["area"] = 1  # lie, without resealing
+        write_json_atomic(path, rec)
+        assert _load_stage_record(path) is None
+        summary = resume_run(s1["run_dir"], cache_dir=cache)
+        assert summary["stages_run"] == 1
+        assert _outputs(s1["run_dir"]) == _outputs(baseline["run_dir"])
+
+    def test_worker_sharding_is_byte_identical(self, baseline, tmp_path):
+        cache = os.path.join(baseline["run_dir"], "cache")
+        s2 = start_run(SPEC, runs_dir=str(tmp_path / "runs"), run_id="base",
+                       cache_dir=cache, workers=2)
+        assert _outputs(s2["run_dir"]) == _outputs(baseline["run_dir"])
+
+    def test_failed_points_checkpoint_and_resume(self, tmp_path):
+        spec = {"ks": [[1, 1, 1], [1, 2, 1]],  # second point is rejected
+                "config": {"cycles": 100, "warmup": 10, "benes_batch": 2,
+                           "sat_max_n": 0}}
+        runs = str(tmp_path / "runs")
+        s1 = start_run(spec, runs_dir=runs, run_id="mix")
+        assert s1["counts"]["failed"] == 1
+        manifest = json.loads(_read(os.path.join(s1["run_dir"],
+                                                 "manifest.json")))
+        bad = manifest["points"][1]
+        assert bad["stages"]["layout"]["status"] == "failed"
+        assert bad["stages"]["validate"]["status"] == "skipped"
+        before = _outputs(s1["run_dir"])
+        summary = resume_run(s1["run_dir"])
+        assert summary["stages_run"] == 0  # failures checkpoint too
+        assert _outputs(s1["run_dir"]) == before
+        f = json.loads(before[1])
+        assert f["ineligible"] == 1 and len(f["points"]) == 1
+
+    def test_start_refuses_existing_run(self, baseline):
+        runs = os.path.dirname(baseline["run_dir"])
+        with pytest.raises(CampaignError, match="resume"):
+            start_run(SPEC, runs_dir=runs, run_id="base")
+
+    def test_resume_refuses_non_run_dir(self, tmp_path):
+        with pytest.raises(CampaignError, match="campaign.json"):
+            resume_run(str(tmp_path))
+
+    def test_resume_refuses_digest_mismatch(self, baseline, tmp_path):
+        run_dir = str(tmp_path / "bad")
+        os.makedirs(run_dir)
+        doc = json.loads(
+            _read(os.path.join(baseline["run_dir"], "campaign.json"))
+        )
+        doc["spec_digest"] = "0" * 12
+        write_json_atomic(os.path.join(run_dir, "campaign.json"), doc)
+        with pytest.raises(CampaignError, match="digest"):
+            resume_run(run_dir)
+
+
+class TestKillAndResume:
+    def test_sigterm_mid_run_then_resume_matches_baseline(self, baseline,
+                                                          tmp_path):
+        """Interrupt a live campaign with SIGTERM, resume it, and demand
+        the manifest and frontier match an uninterrupted run's bytes."""
+        runs = str(tmp_path / "runs")
+        run_dir = os.path.join(runs, "base")
+        cache = os.path.join(baseline["run_dir"], "cache")
+        grid_file = str(tmp_path / "grid.json")
+        with open(grid_file, "w") as fh:
+            json.dump(SPEC, fh)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..",
+                                         "src") + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", "run",
+             "--grid", grid_file, "--runs-dir", runs, "--run-id", "base"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        # wait for the first checkpoint to land, then pull the plug
+        deadline = time.time() + 60
+        first = os.path.join(run_dir, "points", "p0000", "stages",
+                             "layout.json")
+        while time.time() < deadline and proc.poll() is None:
+            if os.path.exists(first):
+                break
+            time.sleep(0.02)
+        proc.terminate()
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+            proc.kill()
+            proc.wait()
+        assert os.path.exists(os.path.join(run_dir, "campaign.json"))
+        summary = resume_run(run_dir, cache_dir=cache)
+        assert summary["counts"]["complete"] == 2
+        assert _outputs(run_dir) == _outputs(baseline["run_dir"])
+
+    def test_sigkill_leaves_no_torn_checkpoints(self, tmp_path):
+        """Atomic writes mean a killed worker leaves whole records or
+        nothing — every surviving stage file must pass its seal."""
+        runs = str(tmp_path / "runs")
+        run_dir = os.path.join(runs, "kill")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..",
+                                         "src") + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", "run",
+             "--ks", "1,1,1", "--ks", "2,1,1", "--cycles", "120",
+             "--warmup", "20", "--benes-batch", "2", "--sat-max-n", "0",
+             "--runs-dir", runs, "--run-id", "kill"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.time() + 60
+        probe = os.path.join(run_dir, "points", "p0000", "stages",
+                             "package.json")
+        while time.time() < deadline and proc.poll() is None:
+            if os.path.exists(probe):
+                break
+            time.sleep(0.02)
+        if proc.poll() is None:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+        found = 0
+        for root, _dirs, files in os.walk(os.path.join(run_dir, "points")):
+            for name in files:
+                if name.endswith(".json") and root.endswith("stages"):
+                    found += 1
+                    assert _load_stage_record(
+                        os.path.join(root, name)
+                    ) is not None
+        assert found > 0  # the run got far enough to checkpoint
+
+
+class TestCampaignCLI:
+    def test_run_status_frontier_resume(self, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        out_json = str(tmp_path / "summary.json")
+        rc = main([
+            "campaign", "run", "--ks", "1,1,1", "--rates", "0.7",
+            "--cycles", "100", "--warmup", "10", "--benes-batch", "2",
+            "--sat-max-n", "0", "--runs-dir", runs, "--run-id", "cli",
+            "--json", out_json,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign cli:" in out and "frontier" in out
+        with open(out_json) as fh:
+            assert json.load(fh)["points"] == 1
+
+        run_dir = os.path.join(runs, "cli")
+        assert main(["campaign", "status", run_dir]) == 0
+        assert "1/1 point(s) complete" in capsys.readouterr().out
+        assert main(["campaign", "frontier", run_dir]) == 0
+        assert "p0000" in capsys.readouterr().out
+        assert main(["campaign", "resume", run_dir]) == 0
+        assert "0 stage(s) run" in capsys.readouterr().out
+
+    def test_run_requires_grid_or_ks(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run"])
+        assert "--grid FILE or at least one --ks" in capsys.readouterr().err
+
+    def test_grid_file_and_ks_are_exclusive(self, tmp_path, capsys):
+        grid = str(tmp_path / "g.json")
+        with open(grid, "w") as fh:
+            json.dump({"ks": [[1, 1, 1]]}, fh)
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--grid", grid, "--ks", "1,1,1"])
+        assert "exclusive" in capsys.readouterr().err
+
+    def test_bad_grid_exits_2(self, tmp_path, capsys):
+        grid = str(tmp_path / "g.json")
+        with open(grid, "w") as fh:
+            json.dump({"ks": [[1, 1, 1]], "bogus": 1}, fh)
+        rc = main(["campaign", "run", "--grid", grid,
+                   "--runs-dir", str(tmp_path / "runs")])
+        assert rc == 2
+        assert "unknown grid key" in capsys.readouterr().err
+
+    def test_status_on_missing_run_exits_2(self, tmp_path, capsys):
+        rc = main(["campaign", "status", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "campaign.json" in capsys.readouterr().err

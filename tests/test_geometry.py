@@ -136,6 +136,28 @@ class TestWire:
         with pytest.raises(ValueError):
             Wire.from_legs(("a", "b"), [([(0, 0)], THOMPSON_LAYERS)])
 
+    @pytest.mark.parametrize(
+        "legs",
+        [
+            [([(0, 0), (0, 5)], LayerPair(1, 2)),
+             ([(0, 5), (4, 5)], LayerPair(1, 2))],
+            [([(2, 1), (2, 4), (6, 4)], LayerPair(1, 2)),
+             ([(6, 4), (6, 9)], LayerPair(3, 4)),
+             ([(6, 9), (0, 9), (0, 7)], LayerPair(1, 2))],
+            [([(5, 5), (5, 0)], THOMPSON_LAYERS)],
+        ],
+    )
+    def test_endpoints_are_terminal_attachment_points(self, legs):
+        """``endpoints`` must be the first/last *points* of the path —
+        the terminal attachment coordinates — for any multi-leg wire,
+        including ones whose collinear runs merge across legs."""
+        w = Wire.from_legs(("a", "b"), legs)
+        pts = w.path_points()
+        assert w.endpoints == (pts[0], pts[-1])
+        # single-segment wires normalize coordinate order, so compare
+        # the attachment points as a set
+        assert set(w.endpoints) == {legs[0][0][0], legs[-1][0][-1]}
+
 
 def test_rectilinear_path_length():
     assert rectilinear_path_length([(0, 0), (0, 4), (3, 4)]) == 7

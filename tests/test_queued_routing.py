@@ -108,6 +108,18 @@ class TestSaturation:
     def test_normal_threshold_finds_positive_rate(self):
         assert saturation_per_node_rate(3, cycles=400) > 0.0
 
+    def test_unsaturated_ceiling_reports_full_rate(self):
+        """A config that never saturates must report the bracket ceiling
+        (rate 1.0) exactly, not the bisection's asymptote just below it.
+
+        Regression: n=1 at threshold 0.5 used to return 0.49296875
+        (= 0.9859.../2) because the search only ever narrowed towards
+        hi=1.0 without probing it; the true answer is 1.0/(n+1) = 0.5.
+        """
+        assert saturation_per_node_rate(1, cycles=400, threshold=0.5) == 0.5
+        sat = saturation_per_node_rate(2, cycles=400, threshold=0.5)
+        assert sat * 3 == 1.0  # exactly hi/(n+1), no bisection artifact
+
     def test_scales_like_inverse_n_plus_one(self):
         """Satellite 5 property: per-node saturation rate decays roughly
         like 1/(n+1) (the paper's queueing wall) for n = 3..6."""

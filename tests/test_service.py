@@ -146,6 +146,34 @@ class TestStore:
         rep = store.gc(max_age_s=0.0)  # everything is "old"
         assert rep["removed"] == 1 and not store.ls()
 
+    def test_gc_ages_by_last_access_not_creation(self, store):
+        """Regression: age-based gc used to evict by *creation* time, so
+        an entry read moments ago could vanish.  ``get`` must refresh
+        the entry's clock."""
+        store.put("dims", {"ks": [2, 2]}, {"a": 1})
+        store.put("dims", {"ks": [3, 3]}, {"a": 2})
+        hot = cache_key("dims", {"ks": [2, 2]})
+        cold = cache_key("dims", {"ks": [3, 3]})
+        for key in (hot, cold):  # backdate both far past any max_age
+            manifest = os.path.join(store.entry_dir(key), "manifest.json")
+            os.utime(manifest, (1.0, 1.0))
+        assert store.get("dims", {"ks": [2, 2]}) == {"a": 1}
+        rep = store.gc(max_age_s=3600.0)
+        remaining = {e.key for e in store.ls()}
+        assert rep["removed"] == 1
+        assert hot in remaining and cold not in remaining
+
+    def test_load_arrays_refreshes_access_clock(self, store):
+        store.put("dims", {"ks": [2, 2]}, {"a": 1},
+                  {"x": np.arange(4, dtype=np.int64)})
+        key = cache_key("dims", {"ks": [2, 2]})
+        manifest = os.path.join(store.entry_dir(key), "manifest.json")
+        os.utime(manifest, (1.0, 1.0))
+        arrays = store.load_arrays("dims", {"ks": [2, 2]})
+        assert arrays is not None and list(arrays["x"]) == [0, 1, 2, 3]
+        assert store.gc(max_age_s=3600.0)["removed"] == 0
+        assert [e.key for e in store.ls()] == [key]
+
     def test_single_flight_mutual_exclusion(self, tmp_path):
         st = ArtifactStore(str(tmp_path / "c"), lock_timeout=10.0)
         key = "k" * 64
@@ -278,6 +306,34 @@ class TestHandlers:
         r = query("saturation", {"n": 3, "cycles": 300}, store=None)
         assert 0.0 < r["rate_per_node"] <= 1.0
         assert r["paper_wall"] == pytest.approx(1 / 4)
+
+    def test_sim_normalize_defaults_and_bounds(self):
+        p = normalize_params("sim", {"n": 2, "rate": 0.5})
+        assert p == {"n": 2, "rate": 0.5, "cycles": 600, "warmup": 100,
+                     "seed": 0, "drain": None}
+        with pytest.raises(QueryError):
+            normalize_params("sim", {"n": 2})  # rate required
+        with pytest.raises(QueryError):
+            normalize_params("sim", {"n": 2, "rate": 0.0})
+        with pytest.raises(QueryError):
+            normalize_params("sim", {"n": 2, "rate": 1.5})
+        with pytest.raises(QueryError):
+            normalize_params("sim", {"n": 99, "rate": 0.5})
+
+    def test_sim_query_matches_engine(self, store):
+        from repro.algorithms.queued_routing import simulate_butterfly_queued
+
+        params = {"n": 2, "rate": 0.6, "cycles": 150, "warmup": 20,
+                  "seed": 3}
+        r = query("sim", params, store=store)
+        ref = simulate_butterfly_queued(2, 0.6, cycles=150, warmup=20, seed=3)
+        assert r["offered"] == ref.offered
+        assert r["delivered"] == ref.delivered_total
+        assert r["accepted_fraction"] == pytest.approx(ref.accepted_fraction)
+        assert r["max_queue"] == ref.max_queue
+        info = {}
+        r2 = query("sim", params, store=store, info=info)
+        assert info["cache"] == "hit" and canonical_json(r2) == canonical_json(r)
 
     def test_use_cache_false_bypasses(self, store):
         info = {}

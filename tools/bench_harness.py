@@ -26,6 +26,7 @@ Usage::
     PYTHONPATH=src python tools/bench_harness.py --packaging-smoke  # pins only
     PYTHONPATH=src python tools/bench_harness.py --benes-smoke  # benes only
     PYTHONPATH=src python tools/bench_harness.py --serve-smoke  # service only
+    PYTHONPATH=src python tools/bench_harness.py --campaign-smoke  # campaign only
     PYTHONPATH=src python tools/bench_harness.py --max-n 12 --out /tmp/b.json
 
 Methodology: each timed section runs ``gc.collect()`` first and reports
@@ -646,6 +647,146 @@ def bench_serve_http(ks: Sequence[int] = (2, 2, 2)) -> Dict:
     return entry
 
 
+#: The campaign smoke grid: every 3+-level partition of n = 6 (equal
+#: per-point simulation cost, so worker sharding has a fair target), one
+#: rate, full stage pipeline including the saturation bisection.
+CAMPAIGN_SMOKE_SPEC = {
+    "ks": [[3, 2, 1], [2, 2, 2], [2, 2, 1, 1], [2, 1, 1, 1, 1],
+           [3, 1, 1, 1], [1, 1, 1, 1, 1, 1]],
+    "rate": [0.8],
+    "config": {"cycles": 3000, "warmup": 300, "benes_batch": 32,
+               "sat_max_n": 6},
+}
+
+
+def bench_campaign(workers: int = 3) -> Dict:
+    """Campaign orchestrator: worker sharding + kill/resume byte-identity.
+
+    Three cold runs of the smoke grid, each in its own run tree with its
+    own run-local cache: serial, sharded across ``workers``, and a
+    sharded run that then gets damaged (one stage record truncated
+    mid-write, another deleted along with the manifest) and resumed.
+    Gates: the sharded and resumed manifests/frontiers must be
+    byte-identical to the serial run's, the resume must re-run only the
+    damaged checkpoints, every per-point verify proof must hold, and
+    sharding must actually pay for itself.
+    """
+    from repro.campaign import resume_run, start_run  # noqa: PLC0415
+
+    spec = CAMPAIGN_SMOKE_SPEC
+
+    def outputs(run_dir: str):
+        with open(os.path.join(run_dir, "manifest.json"), "rb") as fh:
+            manifest = fh.read()
+        with open(os.path.join(run_dir, "frontier.json"), "rb") as fh:
+            frontier = fh.read()
+        return manifest, frontier
+
+    with tempfile.TemporaryDirectory() as tmp:
+        gc.collect()
+        t0 = time.perf_counter()
+        serial = start_run(spec, runs_dir=os.path.join(tmp, "serial"),
+                           run_id="bench")
+        serial_s = time.perf_counter() - t0
+        gc.collect()
+        t0 = time.perf_counter()
+        sharded = start_run(spec, runs_dir=os.path.join(tmp, "sharded"),
+                            run_id="bench", workers=workers)
+        sharded_s = time.perf_counter() - t0
+
+        m_serial, f_serial = outputs(serial["run_dir"])
+        identical_sharded = outputs(sharded["run_dir"]) == (m_serial, f_serial)
+
+        manifest = json.loads(m_serial)
+        proofs_verified = all(
+            q["verified"]
+            for point in manifest["points"]
+            for stage in point["stages"].values()
+            for q in stage["queries"]
+        )
+
+        # third run, then simulate a mid-flight kill: truncate one stage
+        # record (torn write), delete another plus the manifest
+        victim = start_run(spec, runs_dir=os.path.join(tmp, "victim"),
+                           run_id="bench", workers=workers)
+        vdir = victim["run_dir"]
+        with open(os.path.join(vdir, "points", "p0002", "stages",
+                               "saturation.json"), "r+b") as fh:
+            fh.truncate(23)
+        os.unlink(os.path.join(vdir, "points", "p0004", "stages",
+                               "benes.json"))
+        os.unlink(os.path.join(vdir, "manifest.json"))
+        resumed = resume_run(vdir)
+        identical_resumed = outputs(vdir) == (m_serial, f_serial)
+
+    total_stages = serial["stages_run"]
+    entry = {
+        "points": serial["points"],
+        "total_stages": total_stages,
+        "workers": workers,
+        "serial_s": serial_s,
+        "sharded_s": sharded_s,
+        "speedup": serial_s / sharded_s if sharded_s else None,
+        "byte_identical_sharded": identical_sharded,
+        "resume_stages_run": resumed["stages_run"],
+        "resume_partial": 0 < resumed["stages_run"] < total_stages,
+        "byte_identical_resumed": identical_resumed,
+        "proofs_verified": proofs_verified,
+        "failed_points": serial["counts"]["failed"],
+        "frontier_points": serial["frontier_points"],
+    }
+    print(
+        f"  campaign {entry['points']} pts/{total_stages} stages: serial "
+        f"{serial_s:6.2f} s  sharded[{workers}] {sharded_s:6.2f} s "
+        f"({entry['speedup']:.1f}x)  sharded bytes "
+        f"{'OK' if identical_sharded else 'FAILED'}  resume "
+        f"{resumed['stages_run']}/{total_stages} stages, bytes "
+        f"{'OK' if identical_resumed else 'FAILED'}  proofs "
+        f"{'OK' if proofs_verified else 'FAILED'}"
+    )
+    return entry
+
+
+def _gate_campaign(entry: Dict) -> int:
+    """Shared hard gates for the campaign section (smoke and full)."""
+    if not entry["byte_identical_sharded"]:
+        print("ERROR: sharded campaign manifest/frontier differ from the "
+              "serial run", file=sys.stderr)
+        return 1
+    if not entry["byte_identical_resumed"] or not entry["resume_partial"]:
+        print(f"ERROR: damaged campaign resume ran "
+              f"{entry['resume_stages_run']}/{entry['total_stages']} stages "
+              f"and byte-identity "
+              f"{'held' if entry['byte_identical_resumed'] else 'BROKE'}",
+              file=sys.stderr)
+        return 1
+    if not entry["proofs_verified"]:
+        print("ERROR: a campaign verify-gate proof failed its digest "
+              "cross-check", file=sys.stderr)
+        return 1
+    if entry["failed_points"]:
+        print(f"ERROR: {entry['failed_points']} smoke-grid point(s) failed",
+              file=sys.stderr)
+        return 1
+    # the speedup floor scales with the cores actually available: on a
+    # single-core runner sharding cannot win wall-clock, so gate on the
+    # overhead staying bounded instead
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
+        floor = 2.0 if cpus >= 4 else 1.2
+        if entry["speedup"] < floor:
+            print(f"WARNING: campaign sharding speedup "
+                  f"{entry['speedup']:.1f}x below the {floor}x floor "
+                  f"({cpus} cpus)", file=sys.stderr)
+            return 1
+    elif entry["sharded_s"] > entry["serial_s"] * 1.5:
+        print(f"WARNING: campaign sharding overhead "
+              f"{entry['sharded_s']:.2f} s vs {entry['serial_s']:.2f} s "
+              f"serial on a single-core runner", file=sys.stderr)
+        return 1
+    return 0
+
+
 def run_curated_benches(benches: Sequence[str]) -> Optional[List[Dict]]:
     """Run the curated pytest-benchmark subset; fold in its stats."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -704,6 +845,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     help="cached design-query service smoke only: HTTP "
                          "cold/warm byte-identity, warm >= 2x cold, and "
                          "bit-flip corruption detection")
+    ap.add_argument("--campaign-smoke", action="store_true",
+                    help="campaign orchestrator smoke only: serial vs "
+                         "sharded byte-identity, damaged-run resume, "
+                         "verify-gate proofs and a sharding speedup floor")
     ap.add_argument("--max-n", type=int, default=16,
                     help="largest butterfly dimension to construct (default 16)")
     ap.add_argument("--repeats", type=int, default=3,
@@ -842,6 +987,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         return 0
 
+    if args.campaign_smoke:
+        print("campaign smoke (sharding + kill/resume byte-identity):")
+        entry = bench_campaign(workers=3)
+        report = {
+            "generated": date,
+            "campaign_smoke": True,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "campaign": entry,
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+        return _gate_campaign(entry)
+
     if args.sim_smoke:
         print("queued-routing smoke (parity + speedup + trace export):")
         entry = bench_queued_routing(
@@ -900,6 +1062,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             legacy_count=25, parity_rows=10)
     print("cached design-query service (cold compute vs warm hit):")
     serve = bench_serve(max(val_ks, key=sum), warm_repeats=5)
+    print("campaign orchestrator (sharding + kill/resume byte-identity):")
+    campaign = bench_campaign(workers=3)
     curated = None
     if not args.smoke:
         print("curated benchmark subset:")
@@ -919,6 +1083,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "packaging": packaging,
         "benes_routing": benes,
         "serve": serve,
+        "campaign": campaign,
         "curated_benchmarks": curated,
     }
     with open(out_path, "w") as fh:
@@ -981,6 +1146,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"WARNING: warm-hit speedup {serve['speedup']:.0f}x at "
               f"ks={serve['ks']} below the 100x acceptance floor",
               file=sys.stderr)
+        return 1
+    if _gate_campaign(campaign):
         return 1
     return 0
 
