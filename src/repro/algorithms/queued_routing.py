@@ -60,6 +60,9 @@ from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import ArrayBackend, get_backend
+from ..backend.shm import attach_cached, share_arrays
+
 __all__ = [
     "SimResult",
     "StatsTrace",
@@ -77,6 +80,76 @@ _DRAIN_FACTOR = 4
 
 def _default_drain(n: int) -> int:
     return _DRAIN_FACTOR * (n + 1)
+
+
+def _qid_layout(n: int, B: int) -> Tuple[int, int, int, int]:
+    """Global queue-id layout for a ``B``-job batch on ``B_n``.
+
+    Returns ``(jb, jmask, sshift, num_q)`` for the id packing ``stage |
+    classbit | job | row-rest | out`` shared by the engine, the
+    injection precompute, and the shared-memory sweep workers.
+    """
+    jb = max((B - 1).bit_length(), 0)
+    jmask = (1 << jb) - 1
+    sshift = jb + n + 1
+    return jb, jmask, sshift, n << sshift
+
+
+def _packet_dtype(n: int, cycles: int, drain: int):
+    """Packed-packet dtype: ``(inject_cycle << n) | route`` must fit."""
+    return np.int32 if ((cycles + drain) << n) < 2**31 else np.int64
+
+
+def _prepare_injections(
+    n: int,
+    jobs: Sequence[Tuple[float, int]],
+    cycles: int,
+    warmup: int,
+    pdtype,
+) -> Tuple[np.ndarray, ...]:
+    """Precompute every injection of every job, grouped by cycle.
+
+    Returns ``(offered, inj_percycle, ival, iqid, itin)`` — exactly the
+    arrays :func:`_run_batch` consumes.  Factored out of the engine so
+    the serial path and the shared-memory sweep workers prepare (or
+    attach) byte-identical arrays: the rng consumption order here *is*
+    the reference order.
+    """
+    R = 1 << n
+    B = len(jobs)
+    _jb, _jmask, sshift, _num_q = _qid_layout(n, B)
+    offered = np.zeros(B, np.int64)
+    inj_percycle = np.zeros((cycles, B), np.int64)
+    parts_t, parts_val, parts_qid = [], [], []
+    for j, (rate, seed) in enumerate(jobs):
+        rng = np.random.default_rng(seed)
+        inj = rng.random((cycles, R)) < rate
+        dests = rng.integers(0, R, size=(cycles, R))
+        t_idx, r_idx = np.nonzero(inj)
+        t_idx = t_idx.astype(np.int64)
+        r_idx = r_idx.astype(np.int64)
+        d = dests[t_idx, r_idx].astype(np.int64)
+        parts_t.append(t_idx)
+        parts_val.append((t_idx << n) | (r_idx ^ d))
+        parts_qid.append(
+            ((r_idx & 1) << (sshift - 1))  # stage 0: class bit = row bit 0
+            | (np.int64(j) << n)
+            | ((r_idx >> 1) << 1)
+            | ((r_idx ^ d) & 1)
+        )
+        offered[j] = np.count_nonzero(t_idx >= warmup)
+        inj_percycle[:, j] = np.bincount(t_idx, minlength=cycles)
+    if B == 1:  # np.nonzero is row-major: already grouped by cycle
+        ival = parts_val[0].astype(pdtype)
+        iqid = parts_qid[0]
+        itin = parts_t[0]
+    else:
+        t_all = np.concatenate(parts_t)
+        grouped = np.argsort(t_all, kind="stable")  # <= 1 arrival/queue/cycle
+        ival = np.concatenate(parts_val)[grouped].astype(pdtype)
+        iqid = np.concatenate(parts_qid)[grouped]
+        itin = t_all[grouped]
+    return offered, inj_percycle, ival, iqid, itin
 
 
 @dataclass
@@ -198,6 +271,8 @@ def _run_batch(
     warmup: int,
     drain: Optional[int],
     trace: bool = False,
+    backend=None,
+    injections: Optional[Tuple[np.ndarray, ...]] = None,
 ) -> List[SimResult]:
     """Run ``len(jobs)`` independent ``(rate, seed)`` simulations through
     one shared per-link FIFO arbitration loop.
@@ -226,19 +301,18 @@ def _run_batch(
         _validate(n, rate, cycles)
     if drain is None:
         drain = _default_drain(n)
+    be = get_backend(backend)
     R = 1 << n
     B = len(jobs)
     total_cycles = cycles + drain
-    jb = max((B - 1).bit_length(), 0)
-    jmask = (1 << jb) - 1
-    sshift = jb + n + 1  # stage | classbit | job | row-rest | out
-    num_q = n << sshift
+    # stage | classbit | job | row-rest | out
+    jb, jmask, sshift, num_q = _qid_layout(n, B)
     final_floor = (n - 1) << sshift
     # one packed int per packet: (inject_cycle << n) | (source_row ^ dest).
     # row ^ dest above bit s is invariant along the route (bits below s are
     # already corrected), so the routing decision at stage s+1 is just bit
     # s+1 of the stored value — no current-row lookup needed.
-    pdtype = np.int32 if (total_cycles << n) < 2**31 else np.int64
+    pdtype = _packet_dtype(n, cycles, drain)
 
     # -- per-queue lookup tables (qid -> movement precomputation) --------
     # queue id layout: stage s on top, then bit s of the queue's row (the
@@ -270,38 +344,13 @@ def _run_batch(
     # loop once there are more than a few stages
     q_nshift = s2.astype(np.int32) if n > 4 else None
 
-    # -- precompute every injection of every job, grouped by cycle -------
-    offered = np.zeros(B, np.int64)
-    inj_percycle = np.zeros((cycles, B), np.int64)
-    parts_t, parts_val, parts_qid = [], [], []
-    for j, (rate, seed) in enumerate(jobs):
-        rng = np.random.default_rng(seed)
-        inj = rng.random((cycles, R)) < rate
-        dests = rng.integers(0, R, size=(cycles, R))
-        t_idx, r_idx = np.nonzero(inj)
-        t_idx = t_idx.astype(np.int64)
-        r_idx = r_idx.astype(np.int64)
-        d = dests[t_idx, r_idx].astype(np.int64)
-        parts_t.append(t_idx)
-        parts_val.append((t_idx << n) | (r_idx ^ d))
-        parts_qid.append(
-            ((r_idx & 1) << (sshift - 1))  # stage 0: class bit = row bit 0
-            | (np.int64(j) << n)
-            | ((r_idx >> 1) << 1)
-            | ((r_idx ^ d) & 1)
-        )
-        offered[j] = np.count_nonzero(t_idx >= warmup)
-        inj_percycle[:, j] = np.bincount(t_idx, minlength=cycles)
-    if B == 1:  # np.nonzero is row-major: already grouped by cycle
-        ival = parts_val[0].astype(pdtype)
-        iqid = parts_qid[0]
-        itin = parts_t[0]
-    else:
-        t_all = np.concatenate(parts_t)
-        grouped = np.argsort(t_all, kind="stable")  # <= 1 arrival/queue/cycle
-        ival = np.concatenate(parts_val)[grouped].astype(pdtype)
-        iqid = np.concatenate(parts_qid)[grouped]
-        itin = t_all[grouped]
+    # -- every injection of every job, grouped by cycle ------------------
+    # either prepared here, or attached as shared-memory views by a
+    # sweep worker (see sweep_rates) — same arrays either way
+    if injections is None:
+        injections = _prepare_injections(n, jobs, cycles, warmup, pdtype)
+    offered, inj_percycle, ival, iqid, itin = injections
+    offered = offered.copy()  # result field; never mutate a shared view
     inj_off = np.searchsorted(itin, np.arange(cycles + 1))
 
     # -- ring buffers: one row per FIFO, head/tail monotone counters -----
@@ -362,9 +411,7 @@ def _run_batch(
         cuts: List[int] = []
         act = (head < tail).nonzero()[0]  # method call: skips wrappers
         if act.size:
-            hp = head[act]
-            pval = buf[(act << dbits) | (hp & mask)]
-            head[act] = hp + 1
+            pval = be.ring_advance(buf, head, act, dbits, mask)
             cuts = act.searchsorted(class_bounds).tolist()
             cut = cuts[-1]
             if cut < act.size:  # final-stage pops: deliveries
@@ -385,13 +432,13 @@ def _run_batch(
                     )
                     tin_c = done_tin[counted]
                     jd = (act[cut:] >> n) & jmask
-                    inflight -= np.bincount(jd, minlength=B)
+                    inflight -= be.bincount(jd, minlength=B)
                     if tin_c.size:
                         jdc = jd[counted]
-                        latency += np.bincount(
+                        latency += be.bincount(
                             jdc, weights=t + 1 - tin_c, minlength=B
                         )
-                        bump = np.bincount(jdc, minlength=B)
+                        bump = be.bincount(jdc, minlength=B)
                         if t < cycles:
                             delivered += bump
                         else:
@@ -451,9 +498,8 @@ def _run_batch(
                 continue
             qc = segs[0] if len(segs) == 1 else np.concatenate(segs)
             vc = vals[0] if len(vals) == 1 else np.concatenate(vals)
-            tp = tail[qc]  # targets unique within a pass
-            buf[(qc << dbits) | (tp & mask)] = vc
-            tail[qc] = tp + 1
+            # targets unique within a pass
+            be.ring_advance(buf, tail, qc, dbits, mask, vc)
             touched.append(qc)
         if touched:
             # pops precede pushes, so a FIFO's depth peaks at end of
@@ -527,6 +573,7 @@ def simulate_butterfly_queued(
     seed: int = 0,
     drain: Optional[int] = None,
     trace: bool = False,
+    backend=None,
 ) -> SimResult:
     """Simulate Bernoulli(``rate_per_input``) arrivals per input per cycle
     with uniform random destinations — vectorized engine.
@@ -542,7 +589,8 @@ def simulate_butterfly_queued(
     per-cycle :class:`StatsTrace`.
     """
     return _run_batch(
-        n, [(rate_per_input, seed)], cycles, warmup, drain, trace=trace
+        n, [(rate_per_input, seed)], cycles, warmup, drain, trace=trace,
+        backend=backend,
     )[0]
 
 
@@ -658,8 +706,28 @@ def _enqueue(queues, pkt, r: int, s: int, n: int) -> None:
 
 def _sweep_chunk(args: Tuple) -> List[SimResult]:
     """Module-level worker so :func:`sweep_rates` chunks pickle cleanly."""
-    n, jobs, cycles, warmup, drain = args
-    return _run_batch(n, jobs, cycles, warmup, drain)
+    n, jobs, cycles, warmup, drain, backend = args
+    return _run_batch(n, jobs, cycles, warmup, drain, backend=backend)
+
+
+#: Keys of the per-chunk injection arrays inside the sweep's shared block.
+_INJ_KEYS = ("offered", "inj_percycle", "ival", "iqid", "itin")
+
+
+def _sweep_chunk_shm(args: Tuple) -> List[SimResult]:
+    """Pool worker that *attaches* its chunk's injection arrays.
+
+    The per-job pickle payload is ``(pack, chunk_index, ...)`` — a few
+    hundred bytes regardless of how many cycles or rows the simulation
+    has; the big precomputed injection arrays travel once, through the
+    shared-memory block the parent packed.
+    """
+    pack, ci, n, jobs, cycles, warmup, drain, backend = args
+    views = attach_cached(pack)
+    injections = tuple(views[f"c{ci}_{k}"] for k in _INJ_KEYS)
+    return _run_batch(
+        n, jobs, cycles, warmup, drain, backend=backend, injections=injections
+    )
 
 
 def sweep_rates(
@@ -672,6 +740,7 @@ def sweep_rates(
     drain: Optional[int] = None,
     workers: Optional[int] = None,
     batch: int = 16,
+    backend=None,
 ) -> List[SimResult]:
     """Run the engine over the ``rates x seeds`` grid.
 
@@ -680,21 +749,39 @@ def sweep_rates(
     are *batched* through one shared arbitration loop ``batch`` jobs at
     a time — each vectorized cycle serves the whole batch — and with
     ``workers > 1`` the batches are additionally farmed out to a
-    :mod:`multiprocessing` pool.  The grouping never changes the
-    numbers: every grouping is bit-identical to running each job alone.
+    :mod:`multiprocessing` pool.  The parent precomputes each chunk's
+    injection arrays once and publishes them through one shared-memory
+    block; workers attach zero-copy views instead of re-pickling the
+    arrays per job.  The grouping never changes the numbers: every
+    grouping is bit-identical to running each job alone.
     """
+    backend = backend.name if isinstance(backend, ArrayBackend) else backend
     jobs = [(float(rate), int(s)) for rate in rates for s in seeds]
     batch = max(1, batch)
-    chunks = [
-        (n, jobs[i : i + batch], cycles, warmup, drain)
-        for i in range(0, len(jobs), batch)
-    ]
-    if workers and workers > 1 and len(chunks) > 1:
-        procs = min(workers, len(chunks))
-        with multiprocessing.get_context().Pool(procs) as pool:
-            parts = pool.map(_sweep_chunk, chunks)
+    chunk_jobs = [jobs[i : i + batch] for i in range(0, len(jobs), batch)]
+    if workers and workers > 1 and len(chunk_jobs) > 1:
+        pdtype = _packet_dtype(
+            n, cycles, drain if drain is not None else _default_drain(n)
+        )
+        arrays = {}
+        for ci, cj in enumerate(chunk_jobs):
+            inj = _prepare_injections(n, cj, cycles, warmup, pdtype)
+            for key, arr in zip(_INJ_KEYS, inj):
+                arrays[f"c{ci}_{key}"] = arr
+        procs = min(workers, len(chunk_jobs))
+        with share_arrays(**arrays) as pack:
+            del arrays
+            payloads = [
+                (pack, ci, n, cj, cycles, warmup, drain, backend)
+                for ci, cj in enumerate(chunk_jobs)
+            ]
+            with multiprocessing.get_context().Pool(procs) as pool:
+                parts = pool.map(_sweep_chunk_shm, payloads)
     else:
-        parts = [_sweep_chunk(c) for c in chunks]
+        parts = [
+            _sweep_chunk((n, cj, cycles, warmup, drain, backend))
+            for cj in chunk_jobs
+        ]
     return [res for part in parts for res in part]
 
 

@@ -1,0 +1,35 @@
+"""CuPy backend stub: reports GPU unavailability cleanly.
+
+Device-resident kernels are staged work — today this module only
+detects whether CuPy is importable and raises
+:class:`~repro.backend.base.BackendUnavailable` with a message that
+says *why* the backend cannot be used, so ``REPRO_BACKEND=cupy``
+fails fast with a diagnosis instead of an ImportError deep in an
+engine.
+"""
+
+from __future__ import annotations
+
+from .base import ArrayBackend, BackendUnavailable
+
+try:
+    import cupy
+except Exception:  # ImportError, or a broken CUDA install raising at import
+    cupy = None
+
+
+class CupyBackend(ArrayBackend):
+    """GPU backend placeholder; always unavailable for now."""
+
+    name = "cupy"
+
+    def __init__(self):
+        if cupy is None:
+            raise BackendUnavailable(
+                "the 'cupy' backend requires the cupy package (and a CUDA "
+                "GPU), which is not installed"
+            )
+        raise BackendUnavailable(  # pragma: no cover - needs cupy installed
+            "the 'cupy' backend is a stub: device kernels are not wired "
+            "up yet; use REPRO_BACKEND=numpy or numba"
+        )

@@ -1,0 +1,21 @@
+"""Pure-Python loop backend.
+
+An independent implementation of every facade op built from the plain
+loop kernels in ``_kernels`` — no vectorized NumPy in the inner loops.
+It exists to give the conformance grid a genuinely different execution
+path even on machines without numba/CuPy, and to keep the kernel bodies
+(shared verbatim with the numba backend) under test coverage.
+"""
+
+from __future__ import annotations
+
+from .base import KernelBackend
+
+
+class PythonBackend(KernelBackend):
+    """Interpreted loop kernels; slow, for conformance testing."""
+
+    name = "python"
+
+    def __init__(self):
+        super().__init__(jit=None)

@@ -1,0 +1,149 @@
+"""Zero-copy array handoff for multiprocessing workers.
+
+``share_arrays`` packs a set of named NumPy arrays into one
+``multiprocessing.shared_memory`` block and returns a tiny picklable
+:class:`ShmPack` descriptor (block name + per-array offset/shape/dtype).
+Workers call :func:`attach` (or the per-process cached
+:func:`attach_cached`) to map the block and get back views — no matter
+how large the arrays are, the per-job pickle payload is just the
+descriptor, a few hundred bytes.
+
+Typical use::
+
+    with share_arrays(perms=perms) as pack:
+        with Pool(w) as pool:
+            pool.map(_worker, [(pack, lo, hi) for lo, hi in spans])
+        crossed = read_array(pack, "crossed")   # if workers wrote results
+
+The context manager closes *and unlinks* the block on exit; workers
+attach read-write, so a pool can also write results back into a shared
+output array (see ``route_permutations``).  :func:`read_array` copies a
+shared array out (attach → copy → detach), so no view outlives the
+block.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ShmArraySpec",
+    "ShmPack",
+    "share_arrays",
+    "attach",
+    "attach_cached",
+    "read_array",
+]
+
+_ALIGN = 64  # cache-line align each array within the block
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Placement of one array inside a shared block."""
+
+    key: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class ShmPack:
+    """Picklable descriptor of a shared block; size is O(#arrays)."""
+
+    block: str
+    specs: Tuple[ShmArraySpec, ...]
+
+    @property
+    def keys(self):
+        return tuple(s.key for s in self.specs)
+
+
+def _layout(arrays: Dict[str, np.ndarray]):
+    offset = 0
+    specs = []
+    for key, a in arrays.items():
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        specs.append(ShmArraySpec(key, offset, tuple(a.shape), a.dtype.str))
+        offset += a.nbytes
+    return tuple(specs), max(offset, 1)
+
+
+def _views(pack: ShmPack, buf) -> Dict[str, np.ndarray]:
+    out = {}
+    for s in pack.specs:
+        n = int(np.prod(s.shape, dtype=np.int64))
+        a = np.frombuffer(buf, dtype=np.dtype(s.dtype), count=n, offset=s.offset)
+        out[s.key] = a.reshape(s.shape)
+    return out
+
+
+@contextmanager
+def share_arrays(**arrays: np.ndarray) -> Iterator[ShmPack]:
+    """Copy ``arrays`` into one shared block; yield its picklable pack.
+
+    The single copy-in here replaces a per-job pickle round trip in the
+    workers.  Only the descriptor is yielded — no view outlives the
+    block, so the exit path can always close and unlink it.  Read
+    results back with :func:`read_array` *inside* the ``with`` block.
+    """
+    specs, size = _layout(arrays)
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        pack = ShmPack(shm.name, specs)
+        views = _views(pack, shm.buf)
+        for key, a in arrays.items():
+            views[key][...] = a
+        del views
+        yield pack
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def read_array(pack: ShmPack, key: str) -> np.ndarray:
+    """Copy one array out of a still-linked shared block."""
+    shm, views = attach(pack)
+    try:
+        return views[key].copy()
+    finally:
+        del views
+        shm.close()
+
+
+def attach(pack: ShmPack):
+    """Map an existing block; returns (shm, {key: view}).
+
+    The caller owns the mapping: keep ``shm`` referenced while the
+    views are in use and ``shm.close()`` when done.  Attaches untracked
+    where Python supports it (3.13+); on older forking platforms the
+    duplicate registration is an idempotent no-op and the creating
+    process's unlink clears it.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=pack.block, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        shm = shared_memory.SharedMemory(name=pack.block, create=False)
+    return shm, _views(pack, shm.buf)
+
+
+# Per-process cache so pool workers map each block once, not per job.
+_ATTACHED: Dict[str, tuple] = {}
+
+
+def attach_cached(pack: ShmPack) -> Dict[str, np.ndarray]:
+    """Like :func:`attach` but cached per process by block name."""
+    hit = _ATTACHED.get(pack.block)
+    if hit is None:
+        hit = attach(pack)
+        _ATTACHED[pack.block] = hit
+    return hit[1]

@@ -63,6 +63,17 @@ from .validate import (
     validate_table,
 )
 from .wiretable import WireTable, WireTableBuilder
+from .chunked import (
+    ChunkStats,
+    ChunkedBuild,
+    ChunkedValidator,
+    chunked_collinear_table,
+    chunked_grid2d_table,
+    chunked_grid_table,
+    summarize_chunks,
+    validate_table_chunked,
+    wires_per_chunk,
+)
 
 __all__ = [
     "Rect",
@@ -80,6 +91,15 @@ __all__ = [
     "validate_table",
     "WireTable",
     "WireTableBuilder",
+    "ChunkStats",
+    "ChunkedBuild",
+    "ChunkedValidator",
+    "chunked_collinear_table",
+    "chunked_grid2d_table",
+    "chunked_grid_table",
+    "summarize_chunks",
+    "validate_table_chunked",
+    "wires_per_chunk",
     "CollinearLayout",
     "collinear_layout",
     "track_assignment",

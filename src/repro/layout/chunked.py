@@ -1,0 +1,1058 @@
+"""Chunked (out-of-core) WireTable construction, validation and stats.
+
+The monolithic builders materialise every wire of a layout before
+anything can be validated, which for ``B_18``-class grids means multi-GB
+segment arrays.  This module streams the same layouts as a sequence of
+:class:`~repro.layout.wiretable.WireTable` *chunks* under an explicit
+``memory_budget_bytes``, with two exactness guarantees pinned by
+``tests/test_wiretable_chunked.py``:
+
+* **build identity** — concatenating the chunks reproduces the
+  monolithic table byte for byte (same wires, same order, same columns);
+* **verdict identity** — :func:`validate_table_chunked` and
+  :func:`summarize_chunks` return byte-identical
+  :class:`~repro.layout.validate.ValidationReport` contents (``ok``,
+  ``num_errors``, ``errors``, ``checks_run``) and ``Layout.summary()``
+  dicts without ever holding the whole table.
+
+Chunk sources exploit each builder's order structure:
+
+* collinear (:func:`chunked_collinear_table`) — the table is strictly
+  per-wire, so any wire range ``[lo, hi)`` regenerates independently
+  from :func:`~repro.layout.collinear.track_assignment_arrays`;
+* grid scheme (:func:`chunked_grid_table`) — the legacy emission order
+  factors into three phases (intra wires block-major, then level >= 3
+  inter wires by grid column, then level-2 inter wires by grid row) and
+  every ranking is local to a block / grid column / grid row, so
+  :func:`~repro.layout.grid_table._grid_cats` rebuilds any closed block
+  subset exactly.  Chunk granularity is therefore whole blocks (intra)
+  and whole grid columns/rows (inter) — the budget is honoured down to
+  that floor;
+* 2-D grids (:func:`chunked_grid2d_table`) — emission order is channel
+  by channel; a first pass computes demands without retaining graphs and
+  a second pass streams the dogleg rows.
+
+Validation partitions each grouped check's rows into disk-spilled hash
+buckets keyed by the check's group key (track, via point, channel
+coordinate) so every comparison group lands wholly in one bucket; the
+per-bucket sweeps are the *same* core functions the monolithic
+:func:`~repro.layout.validate.validate_table` runs, and their keyed
+messages merge back into the monolithic emission order before the
+global ``MAX_ERRORS_KEPT`` cap is applied.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import (
+    Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..backend import get_backend
+from ..topology.graph import Graph
+from ..transform.swap_butterfly import SwapButterfly
+from .collinear import (
+    TrackOrder, optimal_track_count, track_assignment_arrays,
+)
+from .collinear_generic import max_congestion
+from .geometry import LayerPair, Rect, THOMPSON_LAYERS
+from .grid2d import (
+    Grid2DDims, _doglegs_to_table, _grid2d_plan, _grid2d_wire_stream,
+    _side_subgraphs,
+)
+from .grid_scheme import GridDims, grid_dims
+from .grid_table import _cats_table, _grid_cats, build_grid_nodes
+from .model import LayoutModel, multilayer_model, thompson_model
+from .validate import (
+    MAX_ERRORS_KEPT,
+    ValidationReport,
+    _BandIndex,
+    _bulk,
+    _canon_edge,
+    _canon_net_rows,
+    _realizes_fallback,
+    _staged_nodes_placed,
+    _track_overlap_sweep,
+    _via_col_sweep,
+    _via_seg_orientation,
+    _via_seg_queries,
+    _vt_columns,
+    _vt_contiguity_terminals,
+    _vt_layer_discipline,
+    _vt_nodes_disjoint,
+)
+from .wiretable import WireTable
+
+__all__ = [
+    "ChunkStats",
+    "ChunkedBuild",
+    "ChunkedValidator",
+    "chunked_collinear_table",
+    "chunked_grid2d_table",
+    "chunked_grid_table",
+    "summarize_chunks",
+    "validate_table_chunked",
+    "wires_per_chunk",
+]
+
+# Conservative working-set estimate per wire in a chunk under assembly:
+# ~3 segments x 5 int64 columns, the 6-int lexsort key, the net tuple,
+# and sort/permute temporaries.  Deliberately generous so a declared
+# budget upper-bounds the real transient footprint.
+_WIRE_BYTES = 1024
+
+_DEFAULT_CHUNK_WIRES = 65536
+
+
+def wires_per_chunk(memory_budget_bytes: Optional[int]) -> int:
+    """Target chunk size (in wires) for a working-set byte budget.
+
+    ``None`` means "no budget" and yields a large default chunk.  Grid
+    chunk sources honour the result down to their natural granularity
+    floor (one block / grid column / grid row per chunk); the collinear
+    source honours it exactly, down to single-wire chunks.
+    """
+    if memory_budget_bytes is None:
+        return _DEFAULT_CHUNK_WIRES
+    if memory_budget_bytes <= 0:
+        raise ValueError(
+            f"memory_budget_bytes must be positive, got {memory_budget_bytes}"
+        )
+    return max(1, int(memory_budget_bytes) // _WIRE_BYTES)
+
+
+@dataclass
+class ChunkedBuild:
+    """A layout whose wires exist only as a restartable chunk stream.
+
+    ``chunks()`` returns a fresh iterator of :class:`WireTable` chunks in
+    monolithic emission order each time it is called (builds are
+    deterministic, so the stream is restartable).  ``nodes`` and
+    ``model`` are materialised eagerly — they are O(network size), not
+    O(wires) — which is exactly what the chunked validator needs.
+    """
+
+    name: str
+    model: LayoutModel
+    nodes: Dict[Hashable, Rect]
+    chunk_wires: int
+    memory_budget_bytes: Optional[int]
+    num_wires: Optional[int] = None
+    _chunks: Callable[[], Iterator[WireTable]] = field(
+        default=None, repr=False
+    )
+
+    def chunks(self) -> Iterator[WireTable]:
+        return self._chunks()
+
+    def table(self) -> WireTable:
+        """Materialise the monolithic table (for tests / small builds)."""
+        return WireTable.concat(list(self.chunks()))
+
+    def validate(
+        self,
+        graph: Optional[Graph] = None,
+        check_nodes: bool = True,
+        check_vias: bool = True,
+        backend=None,
+        num_buckets: int = 8,
+        spill_dir: Optional[str] = None,
+    ) -> ValidationReport:
+        return validate_table_chunked(
+            self.chunks(), self.nodes, self.model, graph=graph,
+            check_nodes=check_nodes, check_vias=check_vias, backend=backend,
+            num_buckets=num_buckets, spill_dir=spill_dir,
+        )
+
+    def summary(self) -> Dict[str, int]:
+        return summarize_chunks(self.chunks(), self.nodes, self.model)
+
+    def validate_and_summarize(
+        self,
+        graph: Optional[Graph] = None,
+        check_nodes: bool = True,
+        check_vias: bool = True,
+        backend=None,
+        num_buckets: int = 8,
+        spill_dir: Optional[str] = None,
+    ) -> Tuple[ValidationReport, Dict[str, int]]:
+        """One pass over the chunk stream feeding both the validator and
+        the stats accumulator."""
+        v = ChunkedValidator(
+            self.nodes, self.model, graph=graph, check_nodes=check_nodes,
+            check_vias=check_vias, backend=backend, num_buckets=num_buckets,
+            spill_dir=spill_dir,
+        )
+        st = ChunkStats()
+        try:
+            for t in self.chunks():
+                v.feed(t)
+                st.feed(t)
+            rep = v.finalize()
+        finally:
+            v.close()
+        return rep, st.summary(self.nodes, self.model)
+
+
+# ---------------------------------------------------------------------------
+# chunk sources
+# ---------------------------------------------------------------------------
+
+
+def chunked_collinear_table(
+    n: int,
+    multiplicity: int = 1,
+    node_side: Optional[int] = None,
+    order: TrackOrder = "forward",
+    layers: LayerPair = THOMPSON_LAYERS,
+    model: Optional[LayoutModel] = None,
+    memory_budget_bytes: Optional[int] = None,
+) -> ChunkedBuild:
+    """Stream :func:`~repro.layout.collinear.collinear_layout`'s table in
+    wire-range chunks; concatenated chunks are byte-identical to the
+    monolithic ``engine="table"`` build."""
+    if multiplicity < 1:
+        raise ValueError(f"multiplicity must be >= 1, got {multiplicity}")
+    degree = multiplicity * (n - 1)
+    side = node_side if node_side is not None else max(degree, 1)
+    if side < degree:
+        raise ValueError(
+            f"node side {side} cannot host {degree} top-edge terminals"
+        )
+    tracks_total = optimal_track_count(n) * multiplicity
+    pitch = side + 1
+    top = side
+    m = multiplicity
+    nw = (n * (n - 1) // 2) * m
+    wpc = wires_per_chunk(memory_budget_bytes)
+    vl = np.int64(layers.vertical)
+    hl = np.int64(layers.horizontal)
+
+    def chunks() -> Iterator[WireTable]:
+        a0, b0, t0 = track_assignment_arrays(n, "forward")
+        for lo in range(0, nw, wpc):
+            hi = min(lo + wpc, nw)
+            idx = np.arange(lo, hi, dtype=np.int64)
+            li = idx // m
+            copy = idx % m
+            a, b = a0[li], b0[li]
+            t = t0[li] * m + copy
+            if order == "reversed":
+                t = tracks_total - 1 - t
+            y = top + 1 + t
+            xa = a * pitch + (b - 1) * m + copy
+            xb = b * pitch + a * m + copy
+            cn = hi - lo
+            rows = np.empty((cn, 3, 5), dtype=np.int64)
+            topv = np.full(cn, top, dtype=np.int64)
+            rows[:, 0] = np.stack(
+                [xa, topv, xa, y, np.full(cn, vl)], axis=1
+            )
+            rows[:, 1] = np.stack(
+                [xa, y, xb, y, np.full(cn, hl)], axis=1
+            )
+            rows[:, 2] = np.stack(
+                [xb, topv, xb, y, np.full(cn, vl)], axis=1
+            )
+            flat = rows.reshape(cn * 3, 5)
+            nets = list(zip(a.tolist(), b.tolist(), copy.tolist()))
+            yield WireTable.from_segment_arrays(
+                nets,
+                np.arange(cn + 1, dtype=np.int64) * 3,
+                flat[:, 0], flat[:, 1], flat[:, 2], flat[:, 3], flat[:, 4],
+            )
+
+    nodes = {a: Rect(a * pitch, 0, side, side) for a in range(n)}
+    return ChunkedBuild(
+        name=f"collinear-K{n}x{multiplicity}",
+        model=model or thompson_model(),
+        nodes=nodes,
+        chunk_wires=wpc,
+        memory_budget_bytes=memory_budget_bytes,
+        num_wires=nw,
+        _chunks=chunks,
+    )
+
+
+def chunked_grid_table(
+    ks: Sequence[int],
+    W: int = 4,
+    L: int = 2,
+    track_order: TrackOrder = "forward",
+    recirculating: bool = False,
+    memory_budget_bytes: Optional[int] = None,
+) -> ChunkedBuild:
+    """Stream :func:`~repro.layout.grid_scheme.build_grid_layout`'s wire
+    table phase by phase: intra wires in block-range chunks, level >= 3
+    inter wires in grid-column-range chunks, level-2 inter wires in
+    grid-row-range chunks — the exact monolithic emission order.
+
+    The budget is honoured down to the phase granularity floor (one
+    block / one grid column / one grid row per chunk): a closed group is
+    the smallest unit whose rankings are self-contained.
+    """
+    dims = grid_dims(ks, W, L, recirculating=recirculating)
+    sb = SwapButterfly.from_ks(dims.ks)
+    model = thompson_model() if L == 2 else multilayer_model(L)
+    gc, gr = dims.grid_cols, dims.grid_rows
+    k2 = dims.ks[1]
+    NB = gr * gc
+    R = dims.block.nrows
+    # per-block wire estimate: ~2 wires per (row, boundary) + feedback
+    per_block = 2 * R * sb.n + (R if recirculating else 0)
+    wpc = wires_per_chunk(memory_budget_bytes)
+    bpc = max(1, wpc // max(per_block, 1))
+    cpc = max(1, bpc // gr)  # grid columns per inter-col chunk
+    rpc = max(1, bpc // gc)  # grid rows per inter-row chunk
+
+    def sub(bids: np.ndarray, phase: str) -> WireTable:
+        return _cats_table(_grid_cats(
+            sb, dims, track_order, recirculating, bids, frozenset({phase})
+        ))
+
+    def chunks() -> Iterator[WireTable]:
+        all_b = np.arange(NB, dtype=np.int64)
+        for lo in range(0, NB, bpc):
+            t = sub(all_b[lo:min(lo + bpc, NB)], "intra")
+            if t.num_wires:
+                yield t
+        bcol = all_b & (gc - 1)
+        for c0 in range(0, gc, cpc):
+            t = sub(all_b[(bcol >= c0) & (bcol < c0 + cpc)], "inter-col")
+            if t.num_wires:
+                yield t
+        brow = all_b >> k2
+        for g0 in range(0, gr, rpc):
+            t = sub(all_b[(brow >= g0) & (brow < g0 + rpc)], "inter-row")
+            if t.num_wires:
+                yield t
+
+    return ChunkedBuild(
+        name=f"grid-B{dims.n}-L{L}",
+        model=model,
+        nodes=build_grid_nodes(sb, dims),
+        chunk_wires=wpc,
+        memory_budget_bytes=memory_budget_bytes,
+        _chunks=chunks,
+    )
+
+
+def chunked_grid2d_table(
+    rows: int,
+    cols: int,
+    row_graph: Callable[[int], Graph],
+    col_graph: Callable[[int], Graph],
+    W: Optional[int] = None,
+    L: int = 2,
+    name: str = "grid2d",
+    split_channels: bool = False,
+    memory_budget_bytes: Optional[int] = None,
+) -> ChunkedBuild:
+    """Stream :func:`~repro.layout.grid2d.build_grid2d_layout`'s table.
+
+    The demand pass visits every channel graph once without retaining
+    it; the emission pass regenerates them channel by channel, buffering
+    dogleg rows up to the chunk size.  The graph callables must be pure
+    (same graph for the same index on every call).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("need at least a 1x1 grid")
+    if L < 2:
+        raise ValueError(f"need at least 2 layers, got {L}")
+    d_top = d_bot = d_right = d_left = 0
+    per_edge = 0
+    num_wires = 0
+    for r in range(rows):
+        g = row_graph(r)
+        if set(g.nodes()) - set(range(cols)):
+            raise ValueError(f"row graph {r} has nodes outside 0..{cols - 1}")
+        s0, s1 = _side_subgraphs(g, split_channels)
+        d_top = max(d_top, max_congestion(s0, range(cols)))
+        d_bot = max(d_bot, max_congestion(s1, range(cols)))
+        per_edge = max(per_edge, s0.max_degree(), s1.max_degree())
+        num_wires += s0.num_edges + s1.num_edges
+    for c in range(cols):
+        g = col_graph(c)
+        if set(g.nodes()) - set(range(rows)):
+            raise ValueError(f"column graph {c} has nodes outside 0..{rows - 1}")
+        s0, s1 = _side_subgraphs(g, split_channels)
+        d_right = max(d_right, max_congestion(s0, range(rows)))
+        d_left = max(d_left, max_congestion(s1, range(rows)))
+        per_edge = max(per_edge, s0.max_degree(), s1.max_degree())
+        num_wires += s0.num_edges + s1.num_edges
+
+    plan = _grid2d_plan(
+        rows, cols, W, L, split_channels,
+        d_top, d_bot, d_right, d_left, per_edge,
+    )
+    dims = plan.dims
+    side = dims.W
+    wpc = wires_per_chunk(memory_budget_bytes)
+
+    def chunks() -> Iterator[WireTable]:
+        nets_buf: List[Tuple] = []
+        paths_buf: List[Tuple[int, ...]] = []
+        pairs_buf: List[Tuple[int, int]] = []
+        stream = _grid2d_wire_stream(
+            rows, cols,
+            lambda r: _side_subgraphs(row_graph(r), split_channels),
+            lambda c: _side_subgraphs(col_graph(c), split_channels),
+            plan.g_top, plan.g_bot, plan.g_right, plan.g_left,
+            side, dims.cell_w, dims.cell_h, plan.x_off, plan.y_off,
+        )
+        for _u, _v, wnet, p8, pair in stream:
+            nets_buf.append(wnet)
+            paths_buf.append(p8)
+            pairs_buf.append((pair.vertical, pair.horizontal))
+            if len(nets_buf) >= wpc:
+                yield _doglegs_to_table(nets_buf, paths_buf, pairs_buf)
+                nets_buf, paths_buf, pairs_buf = [], [], []
+        if nets_buf:
+            yield _doglegs_to_table(nets_buf, paths_buf, pairs_buf)
+
+    nodes: Dict[Hashable, Rect] = {}
+    for r in range(rows):
+        for c in range(cols):
+            nodes[(r, c)] = Rect(
+                c * dims.cell_w + plan.x_off, r * dims.cell_h + plan.y_off,
+                side, side,
+            )
+    return ChunkedBuild(
+        name=f"{name}-{rows}x{cols}-L{L}",
+        model=plan.model,
+        nodes=nodes,
+        chunk_wires=wpc,
+        memory_budget_bytes=memory_budget_bytes,
+        num_wires=num_wires,
+        _chunks=chunks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# streaming stats
+# ---------------------------------------------------------------------------
+
+
+class ChunkStats:
+    """Streaming :meth:`Layout.summary` over a chunk stream — running
+    sums, maxima and a running bounding box reproduce the monolithic
+    metrics exactly (all quantities are integer sums/maxes)."""
+
+    def __init__(self) -> None:
+        self.wires = 0
+        self.segments = 0
+        self.total_wire_length = 0
+        self.max_wire_length = 0
+        self.vias = 0
+        self.box: Optional[Tuple[int, int, int, int]] = None
+
+    def feed(self, t: WireTable) -> None:
+        self.wires += int(t.num_wires)
+        self.segments += int(t.num_segments)
+        self.total_wire_length += int(t.total_wire_length())
+        self.max_wire_length = max(
+            self.max_wire_length, int(t.max_wire_length())
+        )
+        self.vias += int(t.num_vias())
+        b = t.bounding_box()
+        if b is not None:
+            if self.box is None:
+                self.box = b
+            else:
+                self.box = (
+                    min(self.box[0], b[0]), min(self.box[1], b[1]),
+                    max(self.box[2], b[2]), max(self.box[3], b[3]),
+                )
+
+    def summary(self, nodes, model: LayoutModel) -> Dict[str, int]:
+        xs: List[int] = []
+        ys: List[int] = []
+        for r in nodes.values():
+            xs.extend((r.x, r.x2))
+            ys.extend((r.y, r.y2))
+        if self.box is not None:
+            xs.extend((self.box[0], self.box[2]))
+            ys.extend((self.box[1], self.box[3]))
+        if not xs:
+            raise ValueError("empty layout")
+        width = max(xs) - min(xs)
+        height = max(ys) - min(ys)
+        return {
+            "nodes": len(nodes),
+            "wires": self.wires,
+            "segments": self.segments,
+            "width": width,
+            "height": height,
+            "area": width * height,
+            "volume": width * height * model.num_layers,
+            "layers": model.num_layers,
+            "max_wire_length": self.max_wire_length,
+            "total_wire_length": self.total_wire_length,
+            "vias": self.vias,
+        }
+
+
+def summarize_chunks(
+    chunks: Iterable[WireTable], nodes, model: LayoutModel
+) -> Dict[str, int]:
+    """Streaming :meth:`Layout.summary` over a chunk stream — identical
+    dict to materialising the table, without holding more than a chunk."""
+    st = ChunkStats()
+    for t in chunks:
+        st.feed(t)
+    return st.summary(nodes, model)
+
+
+# ---------------------------------------------------------------------------
+# chunked validation
+# ---------------------------------------------------------------------------
+
+
+def _buckets_of(nb: int, *cols: np.ndarray) -> np.ndarray:
+    """Deterministic hash partition of rows by their group-key columns.
+    Rows with equal keys always land in the same bucket, so every
+    comparison group of a grouped check is bucket-local."""
+    h = np.zeros(len(cols[0]), dtype=np.uint64)
+    mix = np.uint64(0x9E3779B97F4A7C15)
+    for c in cols:
+        h = (h + c.astype(np.uint64)) * mix
+        h ^= h >> np.uint64(29)
+    return (h % np.uint64(nb)).astype(np.int64)
+
+
+class _SpillStore:
+    """Disk-spilled, hash-partitioned rows for one grouped check.
+
+    ``add`` splits a chunk's rows by bucket and appends one pickle part
+    per touched bucket (int64 column matrix + aligned net objects);
+    ``iter_buckets``/``bucket`` reload one bucket at a time, preserving
+    global arrival order within the bucket (chunks feed in emission
+    order and the per-chunk split is stable).
+    """
+
+    def __init__(self, root: str, name: str, num_buckets: int, ncols: int) -> None:
+        self.dir = os.path.join(root, name)
+        os.makedirs(self.dir, exist_ok=True)
+        self.nb = num_buckets
+        self.ncols = ncols
+        self.parts: List[List[str]] = [[] for _ in range(num_buckets)]
+        self._seq = 0
+
+    def add(self, bucket: np.ndarray, cols: List[np.ndarray], objs: List) -> None:
+        nr = len(bucket)
+        if not nr:
+            return
+        order = np.argsort(bucket, kind="stable")
+        bs = bucket[order]
+        bounds = np.searchsorted(bs, np.arange(self.nb + 1))
+        mat = np.stack(
+            [np.asarray(c, dtype=np.int64)[order] for c in cols], axis=0
+        )
+        olist = [objs[i] for i in order.tolist()]
+        for k in range(self.nb):
+            i0, i1 = int(bounds[k]), int(bounds[k + 1])
+            if i0 == i1:
+                continue
+            path = os.path.join(self.dir, f"{k:05d}_{self._seq:07d}.pkl")
+            with open(path, "wb") as f:
+                pickle.dump(
+                    (mat[:, i0:i1], olist[i0:i1]), f,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            self.parts[k].append(path)
+        self._seq += 1
+
+    def bucket(self, k: int) -> Optional[Tuple[List[np.ndarray], List]]:
+        if not self.parts[k]:
+            return None
+        mats, olists = [], []
+        for p in self.parts[k]:
+            with open(p, "rb") as f:
+                mat, ol = pickle.load(f)
+            mats.append(mat)
+            olists.append(ol)
+        mat = np.concatenate(mats, axis=1)
+        objs = [o for ol in olists for o in ol]
+        return [mat[i] for i in range(self.ncols)], objs
+
+    def iter_buckets(self):
+        for k in range(self.nb):
+            b = self.bucket(k)
+            if b is not None:
+                yield k, b[0], b[1]
+
+
+class _Tally:
+    """Count + first-``MAX_ERRORS_KEPT`` messages of a streaming check
+    (chunks arrive in table order, so the prefix is the monolithic one)."""
+
+    __slots__ = ("count", "msgs")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.msgs: List[str] = []
+
+    def add(self, count: int, msgs: Iterable[str]) -> None:
+        self.count += count
+        for m in msgs:
+            if len(self.msgs) >= MAX_ERRORS_KEPT:
+                break
+            self.msgs.append(m)
+
+
+class _KeyedTally:
+    """Keyed messages from per-bucket sweeps; ``merged`` re-sorts them
+    into the monolithic emission order (keys are globally unique across
+    buckets, and within a bucket they arrive pre-sorted)."""
+
+    __slots__ = ("count", "keyed")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.keyed: List[Tuple[Tuple, str]] = []
+
+    def add(self, count: int, keyed: Iterable[Tuple[Tuple, str]]) -> None:
+        self.count += count
+        self.keyed.extend(keyed)
+
+    def merged(self) -> List[str]:
+        return [m for _k, m in sorted(self.keyed, key=lambda kv: kv[0])]
+
+
+class ChunkedValidator:
+    """Streaming twin of :func:`~repro.layout.validate.validate_table`.
+
+    Feed chunks in emission order, then ``finalize()``.  The report is
+    byte-identical to the monolithic one on the concatenated table:
+    same ``checks_run``, same ``num_errors``, same first-20 ``errors``
+    in the same order.
+
+    Peak memory is one chunk plus one spill bucket: grouped checks
+    (track overlap, via conflicts, terminal collisions) spill their rows
+    into ``num_buckets`` disk partitions keyed so comparison groups stay
+    bucket-local, and re-run the monolithic sweep cores per bucket.
+    Pick ``num_buckets >= total_rows_bytes / memory_budget_bytes`` to
+    bound the reload size.
+    """
+
+    def __init__(
+        self,
+        nodes,
+        model: LayoutModel,
+        graph: Optional[Graph] = None,
+        check_nodes: bool = True,
+        check_vias: bool = True,
+        backend=None,
+        num_buckets: int = 8,
+        spill_dir: Optional[str] = None,
+    ) -> None:
+        self.nodes = nodes
+        self.model = model
+        self.graph = graph
+        self.check_nodes = check_nodes
+        self.check_vias = check_vias
+        self.be = get_backend(backend)
+        self.nb = max(1, int(num_buckets))
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if spill_dir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-chunked-")
+            spill_dir = self._tmpdir.name
+        root = spill_dir
+        # rows: layer, horiz, track, lo, hi, global wire
+        self._tracks = _SpillStore(root, "tracks", self.nb, 6)
+        if check_vias:
+            # rows: x, y, zlo, zhi, global wire
+            self._cols = _SpillStore(root, "viacol", self.nb, 5)
+            # rows: layer, fix, lo, hi, global wire (per orientation)
+            self._segs = {
+                True: _SpillStore(root, "seg_h", self.nb, 5),
+                False: _SpillStore(root, "seg_v", self.nb, 5),
+            }
+            # rows: ql, qx, qy, global wire, global section pos, layer
+            # ordinal — one store per (orientation, column section) so a
+            # reloaded bucket concatenates to the monolithic query order
+            # ([all starts][all ends][all bends]) restricted to the bucket
+            self._qrys = {
+                (is_h, sec): _SpillStore(
+                    root, f"qry_{'h' if is_h else 'v'}_{sec}", self.nb, 6
+                )
+                for is_h in (True, False) for sec in (0, 1, 2)
+            }
+            # rows: x, y, global arrival seq, global wire
+            self._terms = _SpillStore(root, "terms", self.nb, 4)
+        self._t_layer = _Tally()
+        self._t_contig = _Tally()
+        self._t_avoid = _Tally()
+        self._wire_off = 0
+        self._gw_count = 0
+        self._bend_count = 0
+        self._term_count = 0
+        # wires-avoid-nodes: band indexes over the (fixed) nodes, built once
+        self._bi: Dict[bool, Optional[_BandIndex]] = {True: None, False: None}
+        if check_nodes and nodes:
+            ybands: Dict[Tuple[int, int], List[Tuple[int, int]]] = defaultdict(list)
+            xbands: Dict[Tuple[int, int], List[Tuple[int, int]]] = defaultdict(list)
+            for r in nodes.values():
+                ybands[(r.y, r.y2)].append((r.x, r.x2))
+                xbands[(r.x, r.x2)].append((r.y, r.y2))
+            self._bi[True] = _BandIndex(ybands)
+            self._bi[False] = _BandIndex(xbands)
+        # realizes-graph: exact Counter always; array fast-path while viable
+        self._got: Counter = Counter()
+        self._fast: Optional[Dict] = None
+        if graph is not None and graph._staged_arrays() is not None:
+            try:
+                edges, counts = graph.to_edge_array()
+            except ValueError:
+                edges = None
+            if edges is not None:
+                k = edges.shape[2] if edges.ndim == 3 else 0
+                kk = k if k else 1
+                self._fast = {
+                    "k": k,
+                    "kk": kk,
+                    "want_rows": edges.reshape(len(counts), 2 * kk),
+                    "counts": counts,
+                    "uniq": np.zeros((0, 2 * kk), dtype=np.int64),
+                    "agg": np.zeros(0, dtype=np.int64),
+                }
+        self._finalized = False
+
+    # -- feeding ---------------------------------------------------------
+
+    def feed(self, t: WireTable) -> None:
+        if self._finalized:
+            raise RuntimeError("validator already finalized")
+        nets = t.nets
+        tmp = ValidationReport(ok=True)
+        _vt_layer_discipline(t, self.model, tmp)
+        self._t_layer.add(tmp.num_errors, tmp.errors)
+        tmp = ValidationReport(ok=True)
+        _vt_contiguity_terminals(t, self.nodes, tmp)
+        self._t_contig.add(tmp.num_errors, tmp.errors)
+
+        ns = t.num_segments
+        w_of = t.wire_of if ns else np.zeros(0, dtype=np.int64)
+        if ns:
+            horiz = t.is_horizontal.astype(np.int64)
+            track = np.where(horiz == 1, t.y1, t.x1)
+            lo = np.where(horiz == 1, t.x1, t.y1)
+            hi = np.where(horiz == 1, t.x2, t.y2)
+            segnets = [nets[i] for i in w_of.tolist()]
+            self._tracks.add(
+                _buckets_of(self.nb, t.layer, horiz, track),
+                [t.layer, horiz, track, lo, hi, w_of + self._wire_off],
+                segnets,
+            )
+        if self.check_vias:
+            self._feed_vias(t, w_of)
+        if self.check_nodes:
+            self._feed_avoid(t, w_of)
+        if self.graph is not None:
+            for net in nets:
+                self._got[_canon_edge(net[0], net[1])] += 1
+            if self._fast is not None and t.num_wires:
+                f = self._fast
+                rows = _canon_net_rows(nets, f["k"], f["kk"])
+                if rows is None:
+                    self._fast = None
+                else:
+                    f["uniq"], f["agg"] = Graph._aggregate_rows(
+                        np.concatenate([f["uniq"], rows]),
+                        np.concatenate([
+                            f["agg"], np.ones(len(rows), dtype=np.int64),
+                        ]),
+                    )
+        self._wire_off += t.num_wires
+
+    def _feed_vias(self, t: WireTable, w_of: np.ndarray) -> None:
+        nets = t.nets
+        paths = t.paths()
+        n_gw = int((~paths.bad).sum())
+        cx, cy, zlo, zhi, cw = _vt_columns(t)
+        ncol = len(cx)
+        n_bend = ncol - 2 * n_gw
+        colnets = [nets[i] for i in cw.tolist()]
+        if ncol:
+            self._cols.add(
+                _buckets_of(self.nb, cx, cy),
+                [cx, cy, zlo, zhi, cw + self._wire_off],
+                colnets,
+            )
+            # section (starts / ends / bends) + global position within the
+            # section reproduce the monolithic query order across chunks
+            sec = np.empty(ncol, dtype=np.int64)
+            pos = np.empty(ncol, dtype=np.int64)
+            sec[:n_gw] = 0
+            sec[n_gw:2 * n_gw] = 1
+            sec[2 * n_gw:] = 2
+            pos[:n_gw] = self._gw_count + np.arange(n_gw)
+            pos[n_gw:2 * n_gw] = self._gw_count + np.arange(n_gw)
+            pos[2 * n_gw:] = self._bend_count + np.arange(n_bend)
+            ql, qx, qy, qw = _via_seg_queries(cx, cy, zlo, zhi, cw)
+            reps = zhi - zlo + 1
+            qc = np.repeat(np.arange(ncol, dtype=np.int64), reps)
+            qj = ql - zlo[qc]
+            qsec = sec[qc]
+            qpos = pos[qc]
+            gqw = qw + self._wire_off
+            for s in (0, 1, 2):
+                qm = np.flatnonzero(qsec == s)
+                if not qm.size:
+                    continue
+                qnets = [colnets[i] for i in qc[qm].tolist()]
+                for is_h in (True, False):
+                    self._qrys[(is_h, s)].add(
+                        _buckets_of(
+                            self.nb, ql[qm], (qy if is_h else qx)[qm]
+                        ),
+                        [
+                            ql[qm], qx[qm], qy[qm], gqw[qm],
+                            qpos[qm], qj[qm],
+                        ],
+                        qnets,
+                    )
+        horiz = t.is_horizontal
+        for is_h in (True, False):
+            si = np.flatnonzero(horiz if is_h else ~horiz)
+            if not si.size:
+                continue
+            sw = w_of[si]
+            self._segs[is_h].add(
+                _buckets_of(
+                    self.nb, t.layer[si], (t.y1 if is_h else t.x1)[si]
+                ),
+                [
+                    t.layer[si],
+                    (t.y1 if is_h else t.x1)[si],
+                    (t.x1 if is_h else t.y1)[si],
+                    (t.x2 if is_h else t.y2)[si],
+                    sw + self._wire_off,
+                ],
+                [nets[i] for i in sw.tolist()],
+            )
+        # terminals of good wires, interleaved start/end in wire order —
+        # the global seq reproduces the monolithic arrival tiebreak
+        gw_idx = np.flatnonzero(~paths.bad)
+        if gw_idx.size:
+            n2 = gw_idx.size
+            sx = paths.px[paths.pt_indptr[:-1]][gw_idx]
+            sy = paths.py[paths.pt_indptr[:-1]][gw_idx]
+            ex = paths.px[paths.pt_indptr[1:] - 1][gw_idx]
+            ey = paths.py[paths.pt_indptr[1:] - 1][gw_idx]
+            tx = np.empty(2 * n2, dtype=np.int64)
+            ty = np.empty(2 * n2, dtype=np.int64)
+            tx[0::2], tx[1::2] = sx, ex
+            ty[0::2], ty[1::2] = sy, ey
+            tw = np.repeat(gw_idx, 2)
+            seq = self._term_count + np.arange(2 * n2, dtype=np.int64)
+            self._terms.add(
+                _buckets_of(self.nb, tx, ty),
+                [tx, ty, seq, tw + self._wire_off],
+                [nets[i] for i in tw.tolist()],
+            )
+        self._gw_count += n_gw
+        self._bend_count += n_bend
+        self._term_count += 2 * n_gw
+
+    def _feed_avoid(self, t: WireTable, w_of: np.ndarray) -> None:
+        # per-chunk half of _vt_wires_avoid_nodes against prebuilt indexes
+        if not self.nodes or t.num_segments == 0:
+            return
+        horiz = t.is_horizontal
+        hit = np.zeros(t.num_segments, dtype=bool)
+        for is_h in (True, False):
+            si = np.flatnonzero(horiz if is_h else ~horiz)
+            if not si.size:
+                continue
+            fix = (t.y1 if is_h else t.x1)[si]
+            lo = (t.x1 if is_h else t.y1)[si]
+            hi = (t.x2 if is_h else t.y2)[si]
+            hit[si] = self._bi[is_h].hits(fix, lo, hi)
+        count = int(hit.sum())
+        if not count:
+            return
+
+        def msgs():
+            for i in np.flatnonzero(hit).tolist():
+                net = t.nets[int(w_of[i])]
+                if horiz[i]:
+                    yield (
+                        f"wire {net}: H segment y={int(t.y1[i])} "
+                        f"x[{int(t.x1[i])},{int(t.x2[i])}] crosses a node interior"
+                    )
+                else:
+                    yield (
+                        f"wire {net}: V segment x={int(t.x1[i])} "
+                        f"y[{int(t.y1[i])},{int(t.y2[i])}] crosses a node interior"
+                    )
+
+        self._t_avoid.add(count, msgs())
+
+    # -- finalization ----------------------------------------------------
+
+    def finalize(self) -> ValidationReport:
+        if self._finalized:
+            raise RuntimeError("validator already finalized")
+        self._finalized = True
+        be = self.be
+        rep = ValidationReport(ok=True)
+        rep.checks_run.append("layer-discipline")
+        _bulk(rep, self._t_layer.count, iter(self._t_layer.msgs))
+        rep.checks_run.append("contiguity-terminals")
+        _bulk(rep, self._t_contig.count, iter(self._t_contig.msgs))
+        rep.checks_run.append("track-overlap")
+        kt = _KeyedTally()
+        for _k, cols, objs in self._tracks.iter_buckets():
+            layer, horiz, track, lo, hi, gw = cols
+            c, keyed = _track_overlap_sweep(
+                layer, horiz, track, lo, hi, gw,
+                lambda r, o=objs: o[r], be=be,
+            )
+            kt.add(c, keyed)
+        _bulk(rep, kt.count, iter(kt.merged()))
+        if self.check_vias:
+            rep.checks_run.append("via-conflicts")
+            kt = _KeyedTally()
+            for _k, cols, objs in self._cols.iter_buckets():
+                cx, cy, zlo, zhi, gcw = cols
+                c, keyed = _via_col_sweep(
+                    cx, cy, zlo, zhi, gcw, lambda r, o=objs: o[r], be=be
+                )
+                kt.add(c, keyed)
+            _bulk(rep, kt.count, iter(kt.merged()))
+            seg_count = 0
+            seg_msgs: List[str] = []
+            for is_h in (True, False):
+                kt = _KeyedTally()
+                for k in range(self.nb):
+                    s = self._segs[is_h].bucket(k)
+                    if s is None:
+                        continue
+                    qcols: List[List[np.ndarray]] = []
+                    qobjs: List = []
+                    qsecs: List[np.ndarray] = []
+                    for sect in (0, 1, 2):
+                        q = self._qrys[(is_h, sect)].bucket(k)
+                        if q is None:
+                            continue
+                        qcols.append(q[0])
+                        qobjs.extend(q[1])
+                        qsecs.append(
+                            np.full(len(q[0][0]), sect, dtype=np.int64)
+                        )
+                    if not qcols:
+                        continue
+                    ql, qx, qy, gqw, qpos, qj = (
+                        np.concatenate([qc[i] for qc in qcols])
+                        for i in range(6)
+                    )
+                    qsec = np.concatenate(qsecs)
+                    s_lay, s_fix, s_lo, s_hi, s_gw = s[0]
+                    c, keyed = _via_seg_orientation(
+                        s_lay, s_fix, s_lo, s_hi, s_gw,
+                        lambda r, o=s[1]: o[r],
+                        ql, qx, qy, gqw,
+                        lambda i, o=qobjs: o[i],
+                        is_h, be=be,
+                    )
+                    kt.add(c, [
+                        ((int(qsec[qi]), int(qpos[qi]), int(qj[qi]), j), m)
+                        for (qi, j), m in keyed
+                    ])
+                seg_count += kt.count
+                seg_msgs.extend(kt.merged()[:MAX_ERRORS_KEPT])
+            _bulk(rep, seg_count, iter(seg_msgs))
+            rep.checks_run.append("terminals-distinct")
+            kt = _KeyedTally()
+            for _k, cols, objs in self._terms.iter_buckets():
+                tx, ty, seq, gtw = cols
+                order = np.lexsort((seq, ty, tx))
+                X, Y, S_ = tx[order], ty[order], seq[order]
+                onets = [objs[i] for i in order.tolist()]
+                ids: Dict = {}
+                N_ = np.fromiter(
+                    (ids.setdefault(o, len(ids)) for o in onets),
+                    np.int64, len(onets),
+                )
+                same = (X[1:] == X[:-1]) & (Y[1:] == Y[:-1])
+                err = same & (N_[1:] != N_[:-1])
+                c = int(err.sum())
+                if not c:
+                    continue
+                keyed = []
+                for i in (np.flatnonzero(err) + 1).tolist():
+                    if len(keyed) >= MAX_ERRORS_KEPT:
+                        break
+                    p = (int(X[i]), int(Y[i]))
+                    keyed.append(((p[0], p[1], int(S_[i])), (
+                        f"terminal point {p} shared by wires "
+                        f"{onets[i - 1]} and {onets[i]}"
+                    )))
+                kt.add(c, keyed)
+            _bulk(rep, kt.count, iter(kt.merged()))
+        if self.check_nodes:
+            _vt_nodes_disjoint(self.nodes, rep, be=be)
+            rep.checks_run.append("wires-avoid-nodes")
+            _bulk(rep, self._t_avoid.count, iter(self._t_avoid.msgs))
+        if self.graph is not None:
+            rep.checks_run.append("realizes-graph")
+            placed = set(self.nodes)
+            ok = False
+            f = self._fast
+            # zero wires fed: monolithic _canon_net_rows([]) returns None
+            # and falls back — mirror that
+            if self._wire_off == 0:
+                f = None
+            if f is not None:
+                want_rows = f["want_rows"]
+                if (
+                    f["uniq"].shape == want_rows.shape
+                    and np.array_equal(f["uniq"], want_rows)
+                    and np.array_equal(f["agg"], f["counts"])
+                ):
+                    ok = _staged_nodes_placed(
+                        want_rows, f["k"], f["kk"], placed
+                    )
+            if not ok:
+                _realizes_fallback(self._got, placed, self.graph, rep)
+        self.close()
+        return rep
+
+    def close(self) -> None:
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+
+def validate_table_chunked(
+    chunks: Iterable[WireTable],
+    nodes,
+    model: LayoutModel,
+    graph: Optional[Graph] = None,
+    check_nodes: bool = True,
+    check_vias: bool = True,
+    backend=None,
+    num_buckets: int = 8,
+    spill_dir: Optional[str] = None,
+) -> ValidationReport:
+    """Validate a chunk stream; byte-identical report to running
+    :func:`~repro.layout.validate.validate_table` on the concatenation."""
+    v = ChunkedValidator(
+        nodes, model, graph=graph, check_nodes=check_nodes,
+        check_vias=check_vias, backend=backend, num_buckets=num_buckets,
+        spill_dir=spill_dir,
+    )
+    try:
+        for t in chunks:
+            v.feed(t)
+        return v.finalize()
+    finally:
+        v.close()

@@ -124,6 +124,83 @@ def _edge_orders(g: Graph) -> Dict[int, List[Tuple[int, int]]]:
     return out
 
 
+@dataclass(frozen=True)
+class _Grid2DPlan:
+    """Everything downstream of the channel-demand pass: dimensions,
+    model, track groupings and cell offsets.  Shared by the monolithic
+    builder and the chunked builder in :mod:`repro.layout.chunked`
+    (which computes the demands incrementally instead of keeping every
+    channel graph alive)."""
+
+    dims: Grid2DDims
+    model: object
+    g_top: TrackGrouping
+    g_bot: TrackGrouping
+    g_right: TrackGrouping
+    g_left: TrackGrouping
+    x_off: int
+    y_off: int
+
+
+def _grid2d_plan(
+    rows: int,
+    cols: int,
+    W: Optional[int],
+    L: int,
+    split_channels: bool,
+    d_top: int,
+    d_bot: int,
+    d_right: int,
+    d_left: int,
+    per_edge: int,
+) -> _Grid2DPlan:
+    def grouped(d: int, horizontal: bool) -> Tuple[TrackGrouping, int]:
+        g = TrackGrouping(L=L, horizontal=horizontal, total_tracks=max(d, 1))
+        return g, (g.physical_tracks if d else 0)
+
+    g_top, ch_top = grouped(d_top, True)
+    g_bot, ch_bot = grouped(d_bot, True)
+    g_right, ch_right = grouped(d_right, False)
+    g_left, ch_left = grouped(d_left, False)
+
+    # opposite-side terminals are shifted one unit off the corner (the
+    # bottom-left corner would otherwise host both a bottom and a left
+    # rank-0 terminal), so split mode needs one extra unit of side
+    need = per_edge + (1 if split_channels else 0)
+    side = W if W is not None else max(need, 1)
+    if side < need:
+        raise ValueError(
+            f"node side {side} cannot host {need} terminals per edge"
+        )
+
+    cell_w = (ch_left + 1 if ch_left else 0) + side + 1 + ch_right + 1
+    cell_h = (ch_bot + 1 if ch_bot else 0) + side + 1 + ch_top + 1
+    dims = Grid2DDims(
+        rows=rows,
+        cols=cols,
+        W=side,
+        L=L,
+        row_tracks=d_top,
+        col_tracks=d_right,
+        chan_h=ch_top,
+        chan_v=ch_right,
+        cell_w=cell_w,
+        cell_h=cell_h,
+        chan_h2=ch_bot,
+        chan_v2=ch_left,
+    )
+    return _Grid2DPlan(
+        dims=dims,
+        model=thompson_model() if L == 2 else multilayer_model(L),
+        g_top=g_top,
+        g_bot=g_bot,
+        g_right=g_right,
+        g_left=g_left,
+        x_off=ch_left + 1 if ch_left else 0,
+        y_off=ch_bot + 1 if ch_bot else 0,
+    )
+
+
 def build_grid2d_layout(
     rows: int,
     cols: int,
@@ -173,52 +250,21 @@ def build_grid2d_layout(
     d_bot = demand([s[1] for s in row_sides], cols)
     d_right = demand([s[0] for s in col_sides], rows)
     d_left = demand([s[1] for s in col_sides], rows)
-
-    def grouped(d: int, horizontal: bool) -> Tuple[TrackGrouping, int]:
-        g = TrackGrouping(L=L, horizontal=horizontal, total_tracks=max(d, 1))
-        return g, (g.physical_tracks if d else 0)
-
-    g_top, ch_top = grouped(d_top, True)
-    g_bot, ch_bot = grouped(d_bot, True)
-    g_right, ch_right = grouped(d_right, False)
-    g_left, ch_left = grouped(d_left, False)
-
     per_edge = max(
         max((s[i].max_degree() for s in row_sides for i in (0, 1)), default=0),
         max((s[i].max_degree() for s in col_sides for i in (0, 1)), default=0),
     )
-    # opposite-side terminals are shifted one unit off the corner (the
-    # bottom-left corner would otherwise host both a bottom and a left
-    # rank-0 terminal), so split mode needs one extra unit of side
-    need = per_edge + (1 if split_channels else 0)
-    side = W if W is not None else max(need, 1)
-    if side < need:
-        raise ValueError(
-            f"node side {side} cannot host {need} terminals per edge"
-        )
 
-    cell_w = (ch_left + 1 if ch_left else 0) + side + 1 + ch_right + 1
-    cell_h = (ch_bot + 1 if ch_bot else 0) + side + 1 + ch_top + 1
-    dims = Grid2DDims(
-        rows=rows,
-        cols=cols,
-        W=side,
-        L=L,
-        row_tracks=d_top,
-        col_tracks=d_right,
-        chan_h=ch_top,
-        chan_v=ch_right,
-        cell_w=cell_w,
-        cell_h=cell_h,
-        chan_h2=ch_bot,
-        chan_v2=ch_left,
+    plan = _grid2d_plan(
+        rows, cols, W, L, split_channels,
+        d_top, d_bot, d_right, d_left, per_edge,
     )
-
-    model = thompson_model() if L == 2 else multilayer_model(L)
+    dims, model, side = plan.dims, plan.model, plan.dims.W
+    g_top, g_bot = plan.g_top, plan.g_bot
+    g_right, g_left = plan.g_right, plan.g_left
+    x_off, y_off = plan.x_off, plan.y_off
+    cell_w, cell_h = dims.cell_w, dims.cell_h
     net = Graph(name=name)
-
-    x_off = ch_left + 1 if ch_left else 0
-    y_off = ch_bot + 1 if ch_bot else 0
 
     def origin(r: int, c: int) -> Tuple[int, int]:
         return (c * cell_w + x_off, r * cell_h + y_off)
@@ -238,18 +284,62 @@ def build_grid2d_layout(
     paths_out: List[Tuple[int, ...]] = []
     pairs_out: List[Tuple[int, int]] = []
 
-    def emit(wnet: Tuple, path: List[Tuple[int, int]], pair) -> None:
+    stream = _grid2d_wire_stream(
+        rows, cols,
+        lambda r: row_sides[r], lambda c: col_sides[c],
+        g_top, g_bot, g_right, g_left,
+        side, cell_w, cell_h, x_off, y_off,
+    )
+    for u, v, wnet, p8, pair in stream:
+        net.add_edge(u, v)
         if engine == "table":
             nets_out.append(wnet)
-            paths_out.append(tuple(xy for p in path for xy in p))
+            paths_out.append(p8)
             pairs_out.append((pair.vertical, pair.horizontal))
         else:
+            path = [(p8[2 * i], p8[2 * i + 1]) for i in range(4)]
             wire_objs.append(Wire.from_legs(wnet, [(path, pair)]))
+
+    lname = f"{name}-{rows}x{cols}-L{L}"
+    if engine == "table":
+        table = _doglegs_to_table(nets_out, paths_out, pairs_out)
+        lay = Layout(model=model, name=lname, nodes=nodes, table=table)
+    else:
+        lay = Layout(model=model, name=lname, nodes=nodes, wires=wire_objs)
+    return Grid2DResult(layout=lay, graph=net, dims=dims)
+
+
+def _grid2d_wire_stream(
+    rows: int,
+    cols: int,
+    row_sides_at: Callable[[int], Tuple[Graph, Graph]],
+    col_sides_at: Callable[[int], Tuple[Graph, Graph]],
+    g_top: TrackGrouping,
+    g_bot: TrackGrouping,
+    g_right: TrackGrouping,
+    g_left: TrackGrouping,
+    side: int,
+    cell_w: int,
+    cell_h: int,
+    x_off: int,
+    y_off: int,
+):
+    """Yield ``(u, v, wnet, path8, pair)`` per channel wire in emission
+    order (row channels by row then side, column channels by column then
+    side; links in sorted track-assignment order).
+
+    The side-subgraph accessors are callables so the monolithic builder
+    can hand out precomputed graphs while the chunked builder regenerates
+    them channel by channel without holding them all."""
+
+    def origin(r: int, c: int) -> Tuple[int, int]:
+        return (c * cell_w + x_off, r * cell_h + y_off)
 
     # --- row channels -----------------------------------------------------
     for r in range(rows):
+        sides = row_sides_at(r)
         for side_id, grouping in ((0, g_top), (1, g_bot)):
-            g = row_sides[r][side_id]
+            g = sides[side_id]
             if g.num_edges == 0:
                 continue
             orders = _edge_orders(g)
@@ -267,20 +357,21 @@ def build_grid2d_layout(
                 return (ox + rank, oy + side if side_id == 0 else oy)
 
             for (a, b, copy), t in sorted(assign.items()):
-                net.add_edge((r, a), (r, b))
                 y = chan_base + grouping.offset_of(t)
                 pair = grouping.layer_pair(t)
                 pa, pb = term(a, b, copy), term(b, a, copy)
-                emit(
+                yield (
+                    (r, a), (r, b),
                     ((r, a), (r, b), f"row{side_id}", copy),
-                    [pa, (pa[0], y), (pb[0], y), pb],
+                    (pa[0], pa[1], pa[0], y, pb[0], y, pb[0], pb[1]),
                     pair,
                 )
 
     # --- column channels ----------------------------------------------------
     for c in range(cols):
+        sides = col_sides_at(c)
         for side_id, grouping in ((0, g_right), (1, g_left)):
-            g = col_sides[c][side_id]
+            g = sides[side_id]
             if g.num_edges == 0:
                 continue
             orders = _edge_orders(g)
@@ -298,23 +389,15 @@ def build_grid2d_layout(
                 return (ox + side if side_id == 0 else ox, oy + rank)
 
             for (a, b, copy), t in sorted(assign.items()):
-                net.add_edge((a, c), (b, c))
                 x = chan_base + grouping.offset_of(t)
                 pair = grouping.layer_pair(t)
                 pa, pb = vterm(a, b, copy), vterm(b, a, copy)
-                emit(
+                yield (
+                    (a, c), (b, c),
                     ((a, c), (b, c), f"col{side_id}", copy),
-                    [pa, (x, pa[1]), (x, pb[1]), pb],
+                    (pa[0], pa[1], x, pa[1], x, pb[1], pb[0], pb[1]),
                     pair,
                 )
-
-    lname = f"{name}-{rows}x{cols}-L{L}"
-    if engine == "table":
-        table = _doglegs_to_table(nets_out, paths_out, pairs_out)
-        lay = Layout(model=model, name=lname, nodes=nodes, table=table)
-    else:
-        lay = Layout(model=model, name=lname, nodes=nodes, wires=wire_objs)
-    return Grid2DResult(layout=lay, graph=net, dims=dims)
 
 
 def _doglegs_to_table(

@@ -125,6 +125,9 @@ def _hvh(x1, y1, tx, y2, x2, vl, hl) -> np.ndarray:
     return segs
 
 
+_PHASES = ("intra", "inter-col", "inter-row")
+
+
 def build_grid_table(
     sb: SwapButterfly,
     dims: GridDims,
@@ -133,6 +136,55 @@ def build_grid_table(
 ) -> WireTable:
     """All wires of the grid layout as one :class:`WireTable`, ordered
     exactly like the legacy builder's ``layout.wires`` list."""
+    NB = dims.grid_rows * dims.grid_cols
+    cats = _grid_cats(
+        sb, dims, track_order, recirculating,
+        np.arange(NB, dtype=np.int64), frozenset(_PHASES),
+    )
+    return _cats_table(cats)
+
+
+def _cats_table(cats: List[_Cat]) -> WireTable:
+    """Concatenate categories and permute into legacy emission order."""
+    table = WireTable.concat([c.table() for c in cats])
+    if not cats:
+        return table
+    keys = np.concatenate([c.keys for c in cats], axis=0)
+    order = np.lexsort(
+        (keys[:, 5], keys[:, 4], keys[:, 3], keys[:, 2], keys[:, 1],
+         keys[:, 0])
+    )
+    return table.permuted(order)
+
+
+def _grid_cats(
+    sb: SwapButterfly,
+    dims: GridDims,
+    track_order: TrackOrder,
+    recirculating: bool,
+    bids: np.ndarray,
+    phases: frozenset,
+) -> List[_Cat]:
+    """Wire categories for the block subset ``bids``, restricted to the
+    requested emission phases.
+
+    The three phases partition the final wire order (the lexsort key's
+    leading columns): ``intra`` wires (in-block channel wiring plus
+    feedback) sort block-major, ``inter-col`` wires (level >= 3 links,
+    between blocks of one grid column) sort by source grid column, and
+    ``inter-row`` wires (level 2 links, between blocks of one grid row)
+    sort by source grid row.  Every ranking the geometry depends on —
+    channel ranks, feedthrough rows, track copies — is local to a block
+    (intra/feeds) or to one grid column/row (inter groups), so building a
+    *closed* subset of blocks reproduces exactly the wires the monolithic
+    build emits for them.  This is what the chunked builder in
+    :mod:`repro.layout.chunked` exploits: ``bids`` must cover whole
+    blocks for ``intra``, whole grid columns for ``inter-col``, and whole
+    grid rows for ``inter-row``.
+    """
+    want_intra = "intra" in phases
+    want_col = "inter-col" in phases
+    want_row = "inter-row" in phases
     bd = dims.block
     ks = dims.ks
     k1, k2 = ks[0], ks[1]
@@ -140,16 +192,28 @@ def build_grid_table(
     R = bd.nrows
     W = bd.W
     gc, gr = dims.grid_cols, dims.grid_rows
-    NB = gr * gc
     L = dims.L
     base = base_layer_pair(L)
     bv, bh = base.vertical, base.horizontal
 
-    bids = np.arange(NB, dtype=np.int64)
-    oxs = (bids & (gc - 1)) * dims.cell_w
-    oys = (bids >> k2) * dims.cell_h
+    def bx_of(b: np.ndarray) -> np.ndarray:
+        return (b & (gc - 1)) * dims.cell_w
+
+    def by_of(b: np.ndarray) -> np.ndarray:
+        return (b >> k2) * dims.cell_h
+
+    bids = np.sort(np.ascontiguousarray(bids, dtype=np.int64))
+    nb = len(bids)
+
+    def bpos_of(b: np.ndarray) -> np.ndarray:
+        """Index of each block within ``bids`` — the per-block run offset
+        in block-major sorts (equals the block id when ``bids`` is the
+        full set, which is what the monolithic rank formulas relied on)."""
+        return np.searchsorted(bids, b)
+    oxs = bx_of(bids)
+    oys = by_of(bids)
     B = np.repeat(bids, R)  # block of each (block, local row) pair
-    rr = np.tile(np.arange(R, dtype=np.int64), NB)
+    rr = np.tile(np.arange(R, dtype=np.int64), nb)
     U = B * R + rr  # global row id
     OX = np.repeat(oxs, R)
     OY = np.repeat(oys, R)
@@ -208,8 +272,10 @@ def build_grid_table(
         re = bd.colx[s] + W
         nl = bd.colx[s + 1]
         if isinstance(boundary, ExchangeBoundary):
+            if not want_intra:
+                continue
             t = boundary.bit
-            nw = NB * R
+            nw = nb * R
             # straight: one horizontal run at slot 0
             segs = np.empty((nw, 1, 5), dtype=np.int64)
             segs[:, 0, 0] = re + OX
@@ -240,6 +306,9 @@ def build_grid_table(
 
         # composite boundary: rank the channel items per block
         level = boundary.level
+        want_stubs = want_row if level == 2 else want_col
+        if not (want_intra or want_stubs):
+            continue
         sig = level_swap_array(U, ks, level)
         dest = sig >> k1
 
@@ -275,7 +344,8 @@ def build_grid_table(
         order = np.lexsort((Idir, Ikc, Irr, Iok, Ib))
         cw = bd.channel_widths[s]
         ranks = np.empty(len(order), dtype=np.int64)
-        ranks[order] = np.arange(len(order), dtype=np.int64) - Ib[order] * cw
+        ranks[order] = (np.arange(len(order), dtype=np.int64)
+                        - bpos_of(Ib[order]) * cw)
         tx = cb + ranks
 
         lrr = Iu & (R - 1)  # local row of the item's in-block terminal
@@ -284,9 +354,9 @@ def build_grid_table(
         iyt = bd.rows_base + ltg * (W + 1) + np.where(Ikc == 1, 3, 4)
 
         m = Irole == 0  # intra
-        if m.any():
-            iox = oxs[Ib[m]]
-            ioy = oys[Ib[m]]
+        if want_intra and m.any():
+            iox = bx_of(Ib[m])
+            ioy = by_of(Ib[m])
             cats.append(
                 _Cat(
                     net_list(Iu[m], Itgt[m], s, s + 1, Ikc[m]),
@@ -295,6 +365,8 @@ def build_grid_table(
                     keys6(int(m.sum()), 0, Ib[m], s, ranks[m]),
                 )
             )
+        if not want_stubs:
+            continue
         mo = Irole == 1
         mi = Irole == 2
         if level == 2:
@@ -385,7 +457,7 @@ def build_grid_table(
         fy = np.empty(len(order), dtype=np.int64)
         fy[order] = (feed_base
                      + np.arange(len(order), dtype=np.int64)
-                     - Fb[order] * fc)
+                     - bpos_of(Fb[order]) * fc)
         # scatter back into the stub tables: Fi >= 0 indexes the l>=3 rows
         # of the out accumulator (in append order), -1 - Fi the in rows
         mo = Fi >= 0
@@ -398,8 +470,8 @@ def build_grid_table(
         Ify_[in_pos[-1 - Fi[~mo]]] = fy[~mo]
 
     # --- feedback wires (recirculating) ---------------------------------
-    if recirculating:
-        nw = NB * R
+    if recirculating and want_intra:
+        nw = nb * R
         yo = rowy + 1 + OY
         yi = rowy + 3 + OY
         rx = bd.colx[n] + W + 1 + rr + OX
@@ -487,8 +559,8 @@ def build_grid_table(
                 )
 
         vrow = tgt  # the out item's target row IS sigma(u) (^1 for sc)
-        soxa, soya = oxs[sbid], oys[sbid]
-        doxa, doya = oxs[dbid], oys[dbid]
+        soxa, soya = bx_of(sbid), by_of(sbid)
+        doxa, doya = bx_of(dbid), by_of(dbid)
         colx_arr = np.array(bd.colx, dtype=np.int64)
 
         def inter_keys(m: np.ndarray) -> np.ndarray:
@@ -633,11 +705,4 @@ def build_grid_table(
                 ]
                 cats.append(_Cat(nets, segs, inter_keys(mcol)[mm]))
 
-    # --- concatenate and order like the legacy emitter -------------------
-    table = WireTable.concat([c.table() for c in cats])
-    keys = np.concatenate([c.keys for c in cats], axis=0)
-    order = np.lexsort(
-        (keys[:, 5], keys[:, 4], keys[:, 3], keys[:, 2], keys[:, 1],
-         keys[:, 0])
-    )
-    return table.permuted(order)
+    return cats

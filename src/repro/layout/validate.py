@@ -40,6 +40,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from ..backend import get_backend
 from ..topology.graph import Graph
 from .geometry import Segment, Wire
 from .model import Layout
@@ -224,15 +225,33 @@ def _realizes_graph_fast(nets, placed, graph: Graph) -> bool:
         return False
     k = edges.shape[2] if edges.ndim == 3 else 0
     kk = k if k else 1
+    rows = _canon_net_rows(nets, k, kk)
+    if rows is None:
+        return False
+    uniq, agg = Graph._aggregate_rows(
+        rows, np.ones(len(rows), dtype=np.int64)
+    )
+    want_rows = edges.reshape(len(counts), 2 * kk)
+    if uniq.shape != want_rows.shape or not (
+        np.array_equal(uniq, want_rows) and np.array_equal(agg, counts)
+    ):
+        return False
+    return _staged_nodes_placed(want_rows, k, kk, placed)
+
+
+def _canon_net_rows(nets, k, kk):
+    """Canonicalised ``(lo, hi)`` endpoint rows for uniform int-tuple (or
+    plain-int) two-terminal nets, or ``None`` when the nets do not fit the
+    vectorized layout (mixed arity, non-int nodes, ...)."""
     try:
         if k:
             flat = np.array([n[0] + n[1] for n in nets], dtype=np.int64)
         else:
             flat = np.array([(n[0], n[1]) for n in nets], dtype=np.int64)
     except (TypeError, ValueError):
-        return False
+        return None
     if flat.ndim != 2 or flat.shape != (len(nets), 2 * kk):
-        return False
+        return None
     a, b = flat[:, :kk], flat[:, kk:]
     flip = np.zeros(len(flat), dtype=bool)
     decided = np.zeros(len(flat), dtype=bool)
@@ -242,15 +261,10 @@ def _realizes_graph_fast(nets, placed, graph: Graph) -> bool:
         decided |= less | (b[:, j] > a[:, j])
     lo = np.where(flip[:, None], b, a)
     hi = np.where(flip[:, None], a, b)
-    uniq, agg = Graph._aggregate_rows(
-        np.concatenate([lo, hi], axis=1),
-        np.ones(len(flat), dtype=np.int64),
-    )
-    want_rows = edges.reshape(len(counts), 2 * kk)
-    if uniq.shape != want_rows.shape or not (
-        np.array_equal(uniq, want_rows) and np.array_equal(agg, counts)
-    ):
-        return False
+    return np.concatenate([lo, hi], axis=1)
+
+
+def _staged_nodes_placed(want_rows, k, kk, placed) -> bool:
     # a purely staged graph has no isolated nodes, so the edge endpoints
     # are exactly its node set
     gnodes = np.unique(want_rows.reshape(-1, kk), axis=0)
@@ -263,12 +277,18 @@ def _check_realizes_graph(nets, placed, graph: Graph, rep: ValidationReport) -> 
     rep.checks_run.append("realizes-graph")
     if _realizes_graph_fast(nets, placed, graph):
         return
-    want = graph.edge_multiset()
     got: Counter = Counter()
     for net in nets:
         u, v = net[0], net[1]
         # canonicalise like Graph does
         got[_canon_edge(u, v)] += 1
+    _realizes_fallback(got, placed, graph, rep)
+
+
+def _realizes_fallback(got: Counter, placed, graph: Graph, rep: ValidationReport) -> None:
+    """Exact object-level edge-multiset diff shared with the chunked
+    validator, which accumulates ``got`` across chunks before calling."""
+    want = graph.edge_multiset()
     want_c = Counter({_canon_edge(u, v): c for (u, v), c in want.items()})
     if got != want_c:
         missing = want_c - got
@@ -641,19 +661,27 @@ def _vt_contiguity_terminals(t, nodes, rep: ValidationReport) -> None:
     _bulk(rep, count, msgs())
 
 
-def _vt_track_overlaps(t, rep: ValidationReport) -> None:
-    rep.checks_run.append("track-overlap")
-    ns = t.num_segments
+def _track_overlap_sweep(
+    layer, horiz, track, lo, hi, w, net_at,
+    be=None, msg_cap: int = MAX_ERRORS_KEPT,
+):
+    """Banded running-max sweep over per-track intervals.
+
+    Rows describe segments (layer, orientation flag, track, extent
+    ``[lo, hi]``, owning wire); ``net_at(i)`` resolves row ``i``'s net
+    lazily for message formatting.  Returns ``(count, keyed)`` where
+    ``keyed`` holds at most ``msg_cap`` ``(sort_key, message)`` pairs in
+    sweep order — the key is the flagged row's global sort tuple, which
+    lets the chunked validator merge per-bucket results back into the
+    monolithic emission order.
+    """
+    ns = len(layer)
     if ns < 2:
-        return
-    horiz = t.is_horizontal.astype(np.int64)
-    track = np.where(horiz == 1, t.y1, t.x1)
-    lo = np.where(horiz == 1, t.x1, t.y1)
-    hi = np.where(horiz == 1, t.x2, t.y2)
-    w_of = t.wire_of
-    order = np.lexsort((w_of, hi, lo, track, horiz, t.layer))
-    lay_s, hz_s, tr_s = t.layer[order], horiz[order], track[order]
-    lo_s, hi_s, w_s = lo[order], hi[order], w_of[order]
+        return 0, []
+    be = get_backend(be)
+    order = np.lexsort((w, hi, lo, track, horiz, layer))
+    lay_s, hz_s, tr_s = layer[order], horiz[order], track[order]
+    lo_s, hi_s, w_s = lo[order], hi[order], w[order]
     new = np.empty(ns, dtype=bool)
     new[0] = True
     new[1:] = (
@@ -664,30 +692,51 @@ def _vt_track_overlaps(t, rep: ValidationReport) -> None:
     gid = np.cumsum(new) - 1
     mn = int(lo_s.min())
     band = int(hi_s.max()) - mn + 1
-    cummax = np.maximum.accumulate((hi_s - mn) + gid * band)
+    cummax = be.cummax((hi_s - mn) + gid * band)
     bad = np.zeros(ns, dtype=bool)
     bad[1:] = ((lo_s[1:] - mn) + gid[1:] * band) < cummax[:-1]
     count = int(bad.sum())
     if not count:
-        return
+        return 0, []
     starts = np.flatnonzero(new)
+    keyed = []
+    for i in np.flatnonzero(bad).tolist():
+        if len(keyed) >= msg_cap:
+            break
+        g0 = int(starts[int(gid[i])])
+        # recover the running-max interval the scalar scan pairs with
+        mx = g0
+        for j in range(g0 + 1, i):
+            if int(hi_s[j]) > int(hi_s[mx]):
+                mx = j
+        key = (
+            int(lay_s[i]), int(hz_s[i]), int(tr_s[i]),
+            int(lo_s[i]), int(hi_s[i]), int(w_s[i]),
+        )
+        keyed.append((key, (
+            f"layer {int(lay_s[i])} {'H' if hz_s[i] else 'V'} track "
+            f"{int(tr_s[i])}: intervals "
+            f"[{int(lo_s[mx])},{int(hi_s[mx])}] (wire {net_at(int(order[mx]))}) and "
+            f"[{int(lo_s[i])},{int(hi_s[i])}] (wire {net_at(int(order[i]))}) overlap"
+        )))
+    return count, keyed
 
-    def msgs():
-        for i in np.flatnonzero(bad).tolist():
-            g0 = int(starts[int(gid[i])])
-            # recover the running-max interval the scalar scan pairs with
-            mx = g0
-            for j in range(g0 + 1, i):
-                if int(hi_s[j]) > int(hi_s[mx]):
-                    mx = j
-            yield (
-                f"layer {int(lay_s[i])} {'H' if hz_s[i] else 'V'} track "
-                f"{int(tr_s[i])}: intervals "
-                f"[{int(lo_s[mx])},{int(hi_s[mx])}] (wire {t.nets[int(w_s[mx])]}) and "
-                f"[{int(lo_s[i])},{int(hi_s[i])}] (wire {t.nets[int(w_s[i])]}) overlap"
-            )
 
-    _bulk(rep, count, msgs())
+def _vt_track_overlaps(t, rep: ValidationReport, be=None) -> None:
+    rep.checks_run.append("track-overlap")
+    ns = t.num_segments
+    if ns < 2:
+        return
+    horiz = t.is_horizontal.astype(np.int64)
+    track = np.where(horiz == 1, t.y1, t.x1)
+    lo = np.where(horiz == 1, t.x1, t.y1)
+    hi = np.where(horiz == 1, t.x2, t.y2)
+    w_of = t.wire_of
+    count, keyed = _track_overlap_sweep(
+        t.layer, horiz, track, lo, hi, w_of,
+        lambda r: t.nets[int(w_of[r])], be=be,
+    )
+    _bulk(rep, count, (m for _k, m in keyed))
 
 
 def _vt_columns(t):
@@ -728,10 +777,20 @@ def _vt_columns(t):
     return cx, cy, zlo, zhi, cw
 
 
-def _vt_via_col_conflicts(t, cx, cy, zlo, zhi, cw, rep: ValidationReport) -> None:
+def _via_col_sweep(
+    cx, cy, zlo, zhi, cw, net_at, be=None, msg_cap: int = MAX_ERRORS_KEPT,
+):
+    """Pairwise z-range collision sweep over via columns grouped by point.
+
+    ``net_at(i)`` resolves column row ``i``'s net lazily.  Returns
+    ``(count, keyed)`` — at most ``msg_cap`` ``((x, y, i, j), message)``
+    pairs in point-then-pair order, the key sorting identically to the
+    monolithic emission order so spill buckets merge exactly.
+    """
     n = len(cx)
     if n < 2:
-        return
+        return 0, []
+    be = get_backend(be)
     order = np.lexsort((cw, zhi, zlo, cy, cx))
     X, Y = cx[order], cy[order]
     A, B, W = zlo[order], zhi[order], cw[order]
@@ -741,103 +800,159 @@ def _vt_via_col_conflicts(t, cx, cy, zlo, zhi, cw, rep: ValidationReport) -> Non
     gid = np.cumsum(new) - 1
     mn = int(A.min())
     band = int(B.max()) - mn + 1
-    cm = np.maximum.accumulate((B - mn) + gid * band)
+    cm = be.cummax((B - mn) + gid * band)
     cand = np.zeros(n, dtype=bool)
     # z-ranges sorted by zlo: a later column intersects an earlier one iff
     # its zlo does not clear the running max zhi (inclusive)
     cand[1:] = ((A[1:] - mn) + gid[1:] * band) <= cm[:-1]
     if not cand.any():
-        return
+        return 0, []
     starts = np.flatnonzero(new)
     ends = np.append(starts[1:], n)
     count = 0
-    messages: List[str] = []
+    keyed = []
     for g in np.unique(gid[cand]).tolist():
         g0, g1 = int(starts[g]), int(ends[g])
-        lst = [(int(A[k]), int(B[k]), int(W[k])) for k in range(g0, g1)]
+        lst = [
+            (int(A[k]), int(B[k]), int(W[k]), int(order[k]))
+            for k in range(g0, g1)
+        ]
         x_, y_ = int(X[g0]), int(Y[g0])
         for i in range(len(lst)):
             for j in range(i + 1, len(lst)):
-                (alo, ahi, wa), (blo, bhi, wb) = lst[i], lst[j]
+                (alo, ahi, wa, ra), (blo, bhi, wb, rb) = lst[i], lst[j]
                 if wa != wb and alo <= bhi and blo <= ahi:
                     count += 1
-                    if len(messages) < MAX_ERRORS_KEPT:
-                        messages.append(
-                            f"via columns of wires {t.nets[wa]} and "
-                            f"{t.nets[wb]} collide at ({x_},{y_}) "
+                    if len(keyed) < msg_cap:
+                        keyed.append(((x_, y_, i, j), (
+                            f"via columns of wires {net_at(ra)} and "
+                            f"{net_at(rb)} collide at ({x_},{y_}) "
                             f"layers [{alo},{ahi}]&[{blo},{bhi}]"
-                        )
-    _bulk(rep, count, iter(messages))
+                        )))
+    return count, keyed
 
 
-def _vt_via_seg_conflicts(t, cx, cy, zlo, zhi, cw, rep: ValidationReport) -> None:
-    if len(cx) == 0 or t.num_segments == 0:
-        return
-    # one query per (column, spanned layer)
+def _vt_via_col_conflicts(
+    t, cx, cy, zlo, zhi, cw, rep: ValidationReport, be=None
+) -> None:
+    count, keyed = _via_col_sweep(
+        cx, cy, zlo, zhi, cw, lambda r: t.nets[int(cw[r])], be=be
+    )
+    _bulk(rep, count, (m for _k, m in keyed))
+
+
+def _via_seg_queries(cx, cy, zlo, zhi, cw):
+    """Expand via columns into one point query per (column, spanned layer):
+    returns ``(ql, qx, qy, qw)`` layer/point/wire arrays."""
     reps = zhi - zlo + 1
     nq = int(reps.sum())
-    qc = np.repeat(np.arange(len(cx), dtype=np.int64), reps)
     offs = np.zeros(len(cx), dtype=np.int64)
     np.cumsum(reps[:-1], out=offs[1:])
     ql = (np.arange(nq, dtype=np.int64) - np.repeat(offs, reps)) + np.repeat(zlo, reps)
-    qx, qy, qw = cx[qc], cy[qc], cw[qc]
+    qc = np.repeat(np.arange(len(cx), dtype=np.int64), reps)
+    return ql, cx[qc], cy[qc], cw[qc]
+
+
+def _via_seg_orientation(
+    s_lay, s_fix, s_lo, s_hi, s_w, seg_net_at, ql, qx, qy, qw, q_net_at,
+    is_h, be=None, msg_cap: int = MAX_ERRORS_KEPT,
+):
+    """Single-orientation core of the via-vs-segment conflict sweep.
+
+    Segments of one orientation are described by layer, fixed coordinate
+    (track), variable extent ``[lo, hi]`` and owning wire; queries by
+    layer, point and owning wire.  A hit is a different-wire segment
+    strictly covering the query point on the query layer.
+    ``seg_net_at(i)`` / ``q_net_at(i)`` resolve nets lazily from original
+    segment/query row indices.  Returns ``(count, keyed)`` with at most
+    ``msg_cap`` ``((q, j), message)`` pairs in the monolithic sweep's
+    emission order, keyed by (query row, per-query hit ordinal) so the
+    chunked validator can remap ``q`` to a global query key and merge
+    spill buckets exactly.
+    """
+    count = 0
+    keyed = []
+    if not len(s_lay) or not len(ql):
+        return count, keyed
+    be = get_backend(be)
+    q_fix = qy if is_h else qx
+    q_var = qx if is_h else qy
+    fmin = min(int(s_fix.min()), int(q_fix.min()))
+    fspan = max(int(s_fix.max()), int(q_fix.max())) - fmin + 1
+    enc_s = s_lay * fspan + (s_fix - fmin)
+    enc_q = ql * fspan + (q_fix - fmin)
+    order = np.lexsort((s_lo, enc_s))
+    enc_ss, lo_ss, hi_ss, w_ss = enc_s[order], s_lo[order], s_hi[order], s_w[order]
+    uniq, g_start = np.unique(enc_ss, return_index=True)
+    g_end = np.append(g_start[1:], len(enc_ss))
+    gs = np.searchsorted(uniq, enc_ss)
+    xmin = min(int(lo_ss.min()), int(q_var.min()))
+    xband = max(int(hi_ss.max()), int(q_var.max())) - xmin + 1
+    cm = be.cummax((hi_ss - xmin) + gs * xband)
+    q_gpos = np.searchsorted(uniq, enc_q)
+    in_range = q_gpos < len(uniq)
+    has_group = in_range.copy()
+    has_group[in_range] = uniq[q_gpos[in_range]] == enc_q[in_range]
+    pos = np.searchsorted(
+        enc_ss * xband + (lo_ss - xmin),
+        enc_q * xband + (q_var - xmin),
+        side="left",
+    )
+    idx = np.flatnonzero(has_group & (pos > 0))
+    if not idx.size:
+        return count, keyed
+    # earlier groups can never exceed this group's threshold, so one
+    # prefix cummax answers "any same-group segment with lo < q < hi?"
+    thr = q_gpos[idx] * xband + (q_var[idx] - xmin)
+    hit_idx = idx[cm[pos[idx] - 1] > thr]
+    for q in hit_idx.tolist():
+        g = int(q_gpos[q])
+        g0, g1 = int(g_start[g]), int(g_end[g])
+        xv = int(q_var[q])
+        wi = int(qw[q])
+        sl = slice(g0, g1)
+        mseg = (lo_ss[sl] < xv) & (hi_ss[sl] > xv) & (w_ss[sl] != wi)
+        for j, k in enumerate(np.flatnonzero(mseg).tolist()):
+            count += 1
+            if len(keyed) < msg_cap:
+                keyed.append(((q, j), (
+                    f"wire {seg_net_at(int(order[g0 + k]))} passes through "
+                    f"via of wire {q_net_at(q)} at "
+                    f"({int(qx[q])},{int(qy[q])}) layer {int(ql[q])}"
+                )))
+    return count, keyed
+
+
+def _vt_via_seg_conflicts(
+    t, cx, cy, zlo, zhi, cw, rep: ValidationReport, be=None
+) -> None:
+    if len(cx) == 0 or t.num_segments == 0:
+        return
+    be = get_backend(be)
+    ql, qx, qy, qw = _via_seg_queries(cx, cy, zlo, zhi, cw)
     count = 0
     messages: List[str] = []
     horiz = t.is_horizontal
+    w_of = t.wire_of
     for is_h in (True, False):
         si = np.flatnonzero(horiz if is_h else ~horiz)
         if not si.size:
             continue
-        s_lay = t.layer[si]
-        s_fix = (t.y1 if is_h else t.x1)[si]
-        s_lo = (t.x1 if is_h else t.y1)[si]
-        s_hi = (t.x2 if is_h else t.y2)[si]
-        s_w = t.wire_of[si]
-        q_fix = qy if is_h else qx
-        q_var = qx if is_h else qy
-        fmin = min(int(s_fix.min()), int(q_fix.min()))
-        fspan = max(int(s_fix.max()), int(q_fix.max())) - fmin + 1
-        enc_s = s_lay * fspan + (s_fix - fmin)
-        enc_q = ql * fspan + (q_fix - fmin)
-        order = np.lexsort((s_lo, enc_s))
-        enc_ss, lo_ss, hi_ss, w_ss = enc_s[order], s_lo[order], s_hi[order], s_w[order]
-        uniq, g_start = np.unique(enc_ss, return_index=True)
-        g_end = np.append(g_start[1:], len(enc_ss))
-        gs = np.searchsorted(uniq, enc_ss)
-        xmin = min(int(lo_ss.min()), int(q_var.min()))
-        xband = max(int(hi_ss.max()), int(q_var.max())) - xmin + 1
-        cm = np.maximum.accumulate((hi_ss - xmin) + gs * xband)
-        q_gpos = np.searchsorted(uniq, enc_q)
-        in_range = q_gpos < len(uniq)
-        has_group = in_range.copy()
-        has_group[in_range] = uniq[q_gpos[in_range]] == enc_q[in_range]
-        pos = np.searchsorted(
-            enc_ss * xband + (lo_ss - xmin),
-            enc_q * xband + (q_var - xmin),
-            side="left",
+        sw = w_of[si]
+        c, keyed = _via_seg_orientation(
+            t.layer[si],
+            (t.y1 if is_h else t.x1)[si],
+            (t.x1 if is_h else t.y1)[si],
+            (t.x2 if is_h else t.y2)[si],
+            sw,
+            lambda r, sw=sw: t.nets[int(sw[r])],
+            ql, qx, qy, qw,
+            lambda q: t.nets[int(qw[q])],
+            is_h,
+            be=be, msg_cap=MAX_ERRORS_KEPT - len(messages),
         )
-        idx = np.flatnonzero(has_group & (pos > 0))
-        if not idx.size:
-            continue
-        # earlier groups can never exceed this group's threshold, so one
-        # prefix cummax answers "any same-group segment with lo < q < hi?"
-        thr = q_gpos[idx] * xband + (q_var[idx] - xmin)
-        hit_idx = idx[cm[pos[idx] - 1] > thr]
-        for q in hit_idx.tolist():
-            g = int(q_gpos[q])
-            g0, g1 = int(g_start[g]), int(g_end[g])
-            xv = int(q_var[q])
-            wi = int(qw[q])
-            sl = slice(g0, g1)
-            mseg = (lo_ss[sl] < xv) & (hi_ss[sl] > xv) & (w_ss[sl] != wi)
-            for k in np.flatnonzero(mseg).tolist():
-                count += 1
-                if len(messages) < MAX_ERRORS_KEPT:
-                    messages.append(
-                        f"wire {t.nets[int(w_ss[g0 + k])]} passes through via "
-                        f"of wire {t.nets[wi]} at ({int(qx[q])},{int(qy[q])}) "
-                        f"layer {int(ql[q])}"
-                    )
+        count += c
+        messages.extend(m for _k, m in keyed)
     _bulk(rep, count, iter(messages))
 
 
@@ -883,11 +998,12 @@ def _vt_terminals_distinct(t, rep: ValidationReport) -> None:
     _bulk(rep, count, msgs())
 
 
-def _vt_nodes_disjoint(nodes, rep: ValidationReport) -> None:
+def _vt_nodes_disjoint(nodes, rep: ValidationReport, be=None) -> None:
     rep.checks_run.append("nodes-disjoint")
     n = len(nodes)
     if n < 2:
         return
+    be = get_backend(be)
     rx = np.fromiter((r.x for r in nodes.values()), np.int64, n)
     ry = np.fromiter((r.y for r in nodes.values()), np.int64, n)
     rx2 = np.fromiter((r.x2 for r in nodes.values()), np.int64, n)
@@ -900,7 +1016,7 @@ def _vt_nodes_disjoint(nodes, rep: ValidationReport) -> None:
     gid = np.cumsum(new) - 1
     mn = int(X1.min())
     band = int(X2.max()) - mn + 1
-    cm = np.maximum.accumulate((X2 - mn) + gid * band)
+    cm = be.cummax((X2 - mn) + gid * band)
     flag = np.zeros(n, dtype=bool)
     flag[1:] = ((X1[1:] - mn) + gid[1:] * band) < cm[:-1]
     flag &= Y2 > Y1  # zero-height rects cannot strictly overlap in-band
@@ -1042,21 +1158,23 @@ def validate_table(
     graph: Optional[Graph] = None,
     check_nodes: bool = True,
     check_vias: bool = True,
+    backend=None,
 ) -> ValidationReport:
     """Vectorized rule set over a :class:`WireTable` (same checks, same
     verdicts as :func:`validate_layout_legacy`)."""
+    be = get_backend(backend)
     rep = ValidationReport(ok=True)
     _vt_layer_discipline(table, model, rep)
     _vt_contiguity_terminals(table, nodes, rep)
-    _vt_track_overlaps(table, rep)
+    _vt_track_overlaps(table, rep, be=be)
     if check_vias:
         rep.checks_run.append("via-conflicts")
         cols = _vt_columns(table)
-        _vt_via_col_conflicts(table, *cols, rep)
-        _vt_via_seg_conflicts(table, *cols, rep)
+        _vt_via_col_conflicts(table, *cols, rep, be=be)
+        _vt_via_seg_conflicts(table, *cols, rep, be=be)
         _vt_terminals_distinct(table, rep)
     if check_nodes:
-        _vt_nodes_disjoint(nodes, rep)
+        _vt_nodes_disjoint(nodes, rep, be=be)
         _vt_wires_avoid_nodes(table, nodes, rep)
     if graph is not None:
         _check_realizes_graph(table.nets, set(nodes), graph, rep)
@@ -1068,6 +1186,7 @@ def validate_layout(
     graph: Optional[Graph] = None,
     check_nodes: bool = True,
     check_vias: bool = True,
+    backend=None,
 ) -> ValidationReport:
     """Run the full rule set; returns a report (``.raise_if_failed()`` to
     assert).  Vectorized: operates on the layout's wire table (native for
@@ -1079,4 +1198,5 @@ def validate_layout(
         graph=graph,
         check_nodes=check_nodes,
         check_vias=check_vias,
+        backend=backend,
     )

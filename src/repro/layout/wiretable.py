@@ -27,6 +27,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import get_backend
 from .geometry import LayerPair, Segment, Wire
 
 __all__ = ["WireTable", "WireTableBuilder", "merge_legs"]
@@ -199,9 +200,10 @@ class WireTable:
             layer=np.concatenate([t.layer for t in tables]),
         )
 
-    def permuted(self, order: np.ndarray) -> "WireTable":
+    def permuted(self, order: np.ndarray, backend=None) -> "WireTable":
         """Reorder wires by ``order`` (new position ``i`` takes old wire
         ``order[i]``), gathering each wire's segment block."""
+        be = get_backend(backend)
         order = np.asarray(order, dtype=np.int64)
         counts = np.diff(self.indptr)[order]
         indptr = np.zeros(len(order) + 1, dtype=np.int64)
@@ -214,8 +216,27 @@ class WireTable:
         return WireTable(
             nets=[self.nets[int(o)] for o in order],
             indptr=indptr,
-            x1=self.x1[idx], y1=self.y1[idx],
-            x2=self.x2[idx], y2=self.y2[idx], layer=self.layer[idx],
+            x1=be.gather(self.x1, idx), y1=be.gather(self.y1, idx),
+            x2=be.gather(self.x2, idx), y2=be.gather(self.y2, idx),
+            layer=be.gather(self.layer, idx),
+        )
+
+    def slice_wires(self, lo: int, hi: int) -> "WireTable":
+        """Self-contained table over wires ``lo:hi``.
+
+        The coordinate/layer columns are numpy *views* into this table's
+        storage (zero-copy); only the rebased ``indptr`` is new.  The
+        chunked builders and validators stream blocks through this.
+        """
+        lo = max(0, min(int(lo), self.num_wires))
+        hi = max(lo, min(int(hi), self.num_wires))
+        s0, s1 = int(self.indptr[lo]), int(self.indptr[hi])
+        return WireTable(
+            nets=self.nets[lo:hi],
+            indptr=self.indptr[lo:hi + 1] - self.indptr[lo],
+            x1=self.x1[s0:s1], y1=self.y1[s0:s1],
+            x2=self.x2[s0:s1], y2=self.y2[s0:s1],
+            layer=self.layer[s0:s1],
         )
 
     # ------------------------------------------------------------------
@@ -345,16 +366,17 @@ class WireTable:
         self._paths = _Paths(px, py, pt_indptr, bad, bad_at)
         return self._paths
 
-    def vias_per_wire(self) -> np.ndarray:
+    def vias_per_wire(self, backend=None) -> np.ndarray:
         """Number of layer-changing bends per wire (contiguous wires)."""
         nw = self.num_wires
         out = np.zeros(nw, dtype=np.int64)
         if self.num_segments <= 1:
             return out
+        be = get_backend(backend)
         w = self.wire_of
         inner = np.flatnonzero(w[:-1] == w[1:])
         change = self.layer[inner] != self.layer[inner + 1]
-        np.add.at(out, w[inner[change]], 1)
+        be.scatter_add(out, w[inner[change]], 1)
         return out
 
     def num_vias(self) -> int:

@@ -30,6 +30,8 @@ from fractions import Fraction
 from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..backend import ArrayBackend
+from ..backend.shm import attach_cached, share_arrays
 from ..topology.swap import SwapNetworkParams
 from ..transform.swap_butterfly import SwapButterfly
 from .partition import NucleusPartition, RowPartition
@@ -137,24 +139,52 @@ def _candidates_for(ks: Tuple[int, ...]) -> Iterator[Candidate]:
         )
 
 
+def _exact_pin_maxima_sb(sb: SwapButterfly, backend=None) -> Dict[str, int]:
+    """Exact max off-module links per module for both schemes of ``sb``."""
+    return {
+        "row": count_off_module_links(
+            RowPartition.natural(sb), backend=backend
+        ).max_per_module,
+        "nucleus": count_off_module_links(
+            NucleusPartition(sb), backend=backend
+        ).max_per_module,
+    }
+
+
 @lru_cache(maxsize=256)
-def exact_pin_maxima(ks: Tuple[int, ...]) -> Dict[str, int]:
+def exact_pin_maxima(ks: Tuple[int, ...], backend=None) -> Dict[str, int]:
     """Exact max off-module links per module for both schemes of ``ks``.
 
     One swap-butterfly (and one memoized edge array) serves both the row
     and the nucleus partition; results are cached per parameter vector so
     repeated sweeps over overlapping grids never re-count.
     """
-    sb = SwapButterfly.from_ks(ks)
-    return {
-        "row": count_off_module_links(RowPartition.natural(sb)).max_per_module,
-        "nucleus": count_off_module_links(NucleusPartition(sb)).max_per_module,
-    }
+    return _exact_pin_maxima_sb(SwapButterfly.from_ks(ks), backend=backend)
 
 
-def _exact_chunk(ks_batch: Tuple[Tuple[int, ...], ...]) -> Dict[Tuple[int, ...], Dict[str, int]]:
+def _exact_chunk(args) -> Dict[Tuple[int, ...], Dict[str, int]]:
     """Module-level worker so multiprocessing chunks pickle cleanly."""
-    return {ks: exact_pin_maxima(ks) for ks in ks_batch}
+    ks_batch, backend = args
+    return {ks: exact_pin_maxima(ks, backend) for ks in ks_batch}
+
+
+def _exact_chunk_shm(args) -> Dict[Tuple[int, ...], Dict[str, int]]:
+    """Pool worker that adopts parent-built edge arrays from shared memory.
+
+    Each job pickles only ``(pack, ((ks, key), ...), backend)``: the
+    worker rebuilds the cheap :class:`SwapButterfly` parameter object per
+    vector and adopts the big memoized edge array as a zero-copy view of
+    the block the parent packed once — no per-job pickle of the edge
+    array in either direction.
+    """
+    pack, items, backend = args
+    views = attach_cached(pack)
+    out = {}
+    for ks, key in items:
+        sb = SwapButterfly.from_ks(ks)
+        sb.adopt_edge_array(views[key])
+        out[ks] = _exact_pin_maxima_sb(sb, backend=backend)
+    return out
 
 
 def optimize_packaging(
@@ -165,6 +195,7 @@ def optimize_packaging(
     exact: bool = False,
     workers: Optional[int] = None,
     batch: int = 8,
+    backend=None,
 ) -> List[Candidate]:
     """Feasible candidates for ``B_n``, best first.
 
@@ -176,6 +207,7 @@ def optimize_packaging(
     candidate's closed form is wrong or a nucleus candidate exceeds
     Theorem 2.1's bound.
     """
+    backend = backend.name if isinstance(backend, ArrayBackend) else backend
     vectors = [
         ks for ks in enumerate_parameter_vectors(n, max_l=max_l)
         if len(ks) >= 2  # no partitioning benefit from a single level
@@ -188,11 +220,26 @@ def optimize_packaging(
             for i in range(0, len(vectors), batch)
         ]
         if workers and workers > 1 and len(chunks) > 1:
-            procs = min(workers, len(chunks))
-            with multiprocessing.get_context().Pool(procs) as pool:
-                parts = pool.map(_exact_chunk, chunks)
+            # build each vector's edge array once, publish all of them
+            # through one shared block; workers adopt zero-copy views
+            arrays = {}
+            keyed = []
+            for i, ks in enumerate(vectors):
+                key = f"ea{i}"
+                arrays[key] = SwapButterfly.from_ks(ks).cached_edge_array()
+                keyed.append((ks, key))
+            keyed_chunks = [
+                tuple(keyed[i : i + batch])
+                for i in range(0, len(keyed), batch)
+            ]
+            procs = min(workers, len(keyed_chunks))
+            with share_arrays(**arrays) as pack:
+                del arrays
+                payloads = [(pack, c, backend) for c in keyed_chunks]
+                with multiprocessing.get_context().Pool(procs) as pool:
+                    parts = pool.map(_exact_chunk_shm, payloads)
         else:
-            parts = [_exact_chunk(c) for c in chunks]
+            parts = [_exact_chunk((c, backend)) for c in chunks]
         for part in parts:
             exact_by_ks.update(part)
 

@@ -1,0 +1,279 @@
+"""Chunked out-of-core WireTable pinning.
+
+Property tests (hypothesis) that the chunked builders and the chunked
+validator are **byte-identical** to the monolithic path at arbitrary
+``memory_budget_bytes`` — down to budgets forcing 1-wire chunks — for
+tables, validation reports (verdict, error count, kept messages, check
+list), and summary stats.  A ``tracemalloc`` guard pins that the
+chunked B_14 grid build's peak allocation stays under the declared
+budget, i.e. the budget knob is real, not advisory.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.layout import (
+    chunked_collinear_table,
+    chunked_grid2d_table,
+    chunked_grid_table,
+    collinear_layout,
+    build_grid2d_layout,
+    build_grid_layout,
+    summarize_chunks,
+    validate_table,
+    validate_table_chunked,
+    wires_per_chunk,
+)
+from repro.layout.chunked import _WIRE_BYTES
+from repro.layout.wiretable import WireTable
+from repro.topology.complete import complete_multigraph
+from repro.topology.graph import Graph
+
+SLOW = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+budgets = st.one_of(
+    st.none(),
+    st.just(1),  # forces 1-wire chunks (collinear) / 1-group chunks (grid)
+    st.integers(min_value=_WIRE_BYTES, max_value=64 * _WIRE_BYTES),
+    st.integers(min_value=1, max_value=1 << 22),
+)
+
+
+def assert_tables_identical(got: WireTable, want: WireTable) -> None:
+    assert got.num_wires == want.num_wires
+    assert got.nets == want.nets
+    for col in ("indptr", "x1", "y1", "x2", "y2", "layer"):
+        a, b = getattr(got, col), getattr(want, col)
+        assert a.dtype == b.dtype and np.array_equal(a, b), col
+
+
+def assert_reports_identical(got, want) -> None:
+    assert got.checks_run == want.checks_run
+    assert got.ok == want.ok
+    assert got.num_errors == want.num_errors
+    assert got.errors == want.errors
+
+
+def assert_chunked_matches(build, layout, graph, num_buckets=4) -> None:
+    mono = layout.wire_table()
+    assert_tables_identical(build.table(), mono)
+    want = validate_table(mono, build.nodes, build.model, graph=graph)
+    got = validate_table_chunked(
+        build.chunks(), build.nodes, build.model, graph=graph,
+        num_buckets=num_buckets,
+    )
+    assert_reports_identical(got, want)
+    assert summarize_chunks(build.chunks(), build.nodes, build.model) == \
+        layout.summary()
+
+
+# ---------------------------------------------------------------------------
+# build + validate + stats identity per chunk source
+# ---------------------------------------------------------------------------
+
+
+@SLOW
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    m=st.integers(min_value=1, max_value=3),
+    order=st.sampled_from(["forward", "reversed"]),
+    budget=budgets,
+)
+def test_collinear_chunked_identity(n, m, order, budget):
+    c = chunked_collinear_table(n, m, order=order, memory_budget_bytes=budget)
+    lay = collinear_layout(n, m, order=order).layout
+    assert_chunked_matches(c, lay, complete_multigraph(n, m))
+    if budget == 1:
+        # budget below one wire's working set degrades to 1-wire chunks
+        assert c.chunk_wires == 1
+        nw = (n * (n - 1) // 2) * m
+        assert sum(1 for _ in c.chunks()) == nw
+
+
+@SLOW
+@given(
+    ks=st.sampled_from([(2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 1, 1),
+                        (2, 1, 1, 1), (3, 2, 1)]),
+    recirculating=st.booleans(),
+    budget=budgets,
+)
+def test_grid_chunked_identity(ks, recirculating, budget):
+    c = chunked_grid_table(ks, recirculating=recirculating,
+                           memory_budget_bytes=budget)
+    res = build_grid_layout(ks, recirculating=recirculating)
+    assert_chunked_matches(c, res.layout, res.graph)
+
+
+@SLOW
+@given(
+    rows=st.integers(min_value=1, max_value=3),
+    cols=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    split=st.booleans(),
+    budget=budgets,
+)
+def test_grid2d_chunked_identity(rows, cols, seed, split, budget):
+    def mkgraph(n, salt):
+        g = Graph()
+        g.add_nodes(range(n))
+        r = np.random.default_rng([seed, salt])
+        for a in range(n):
+            for b in range(a + 1, n):
+                for _ in range(int(r.integers(0, 3))):
+                    g.add_edge(a, b)
+        return g
+
+    row_graphs = {r: mkgraph(cols, 2 * r) for r in range(rows)}
+    col_graphs = {c: mkgraph(rows, 2 * c + 1) for c in range(cols)}
+    rg, cg = row_graphs.__getitem__, col_graphs.__getitem__
+    c = chunked_grid2d_table(rows, cols, rg, cg, split_channels=split,
+                             memory_budget_bytes=budget)
+    res = build_grid2d_layout(rows, cols, rg, cg, split_channels=split)
+    assert_chunked_matches(c, res.layout, res.graph)
+
+
+# ---------------------------------------------------------------------------
+# validator identity on *invalid* tables at arbitrary chunk/bucket splits
+# ---------------------------------------------------------------------------
+
+
+def _mutate(t: WireTable, which: str, rng) -> WireTable:
+    m = WireTable(nets=list(t.nets), indptr=t.indptr.copy(),
+                  x1=t.x1.copy(), y1=t.y1.copy(),
+                  x2=t.x2.copy(), y2=t.y2.copy(), layer=t.layer.copy())
+    h = np.flatnonzero((m.y1 == m.y2) & (m.x1 != m.x2))
+    if which == "layer":
+        m.layer[int(rng.integers(0, t.num_segments))] = 99
+    elif which == "overlap" and h.size >= 2:
+        i, j = h[0], h[int(rng.integers(1, h.size))]
+        m.y1[i] = m.y2[i] = m.y1[j]
+    elif which == "many-overlaps" and h.size >= 2:
+        m.y1[h] = m.y2[h] = m.y1[h[0]]
+    elif which == "contiguity":
+        m.x2[t.indptr[1] - 1] += 3
+    elif which == "bad-net":
+        m.nets[int(rng.integers(0, t.num_wires))] = (997, 998, 0)
+    elif which == "terminal-clash" and t.num_wires >= 2:
+        s0, s1 = t.indptr[0], t.indptr[1]
+        m.x1[s1] = m.x1[s0]
+        m.y1[s1] = m.y1[s0]
+    elif which == "node-interior" and h.size:
+        k = h[int(rng.integers(0, h.size))]
+        m.y1[k] = m.y2[k] = 1
+    return m
+
+
+MUTATIONS = ["layer", "overlap", "many-overlaps", "contiguity", "bad-net",
+             "terminal-clash", "node-interior"]
+
+
+@SLOW
+@given(
+    which=st.sampled_from(MUTATIONS),
+    chunk_wires=st.integers(min_value=1, max_value=40),
+    num_buckets=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_mutated_validation_identity(which, chunk_wires, num_buckets, seed):
+    lay = collinear_layout(6, 2).layout
+    graph = complete_multigraph(6, 2)
+    t = _mutate(lay.wire_table(), which, np.random.default_rng(seed))
+    want = validate_table(t, lay.nodes, lay.model, graph=graph)
+    chunks = (t.slice_wires(lo, lo + chunk_wires)
+              for lo in range(0, t.num_wires, chunk_wires))
+    got = validate_table_chunked(chunks, lay.nodes, lay.model, graph=graph,
+                                 num_buckets=num_buckets)
+    assert_reports_identical(got, want)
+
+
+def test_check_toggles_match():
+    lay = collinear_layout(5, 1).layout
+    t = lay.wire_table()
+    for check_nodes in (True, False):
+        for check_vias in (True, False):
+            want = validate_table(t, lay.nodes, lay.model,
+                                  check_nodes=check_nodes,
+                                  check_vias=check_vias)
+            got = validate_table_chunked(
+                [t.slice_wires(i, i + 3) for i in range(0, t.num_wires, 3)],
+                lay.nodes, lay.model,
+                check_nodes=check_nodes, check_vias=check_vias)
+            assert_reports_identical(got, want)
+
+
+def test_empty_stream_matches_empty_table():
+    lay = collinear_layout(4, 1).layout
+    empty = lay.wire_table().slice_wires(0, 0)
+    want = validate_table(empty, lay.nodes, lay.model,
+                          graph=complete_multigraph(4, 1))
+    got = validate_table_chunked([], lay.nodes, lay.model,
+                                 graph=complete_multigraph(4, 1))
+    assert_reports_identical(got, want)
+    assert not want.ok  # graph edges have no wires
+
+
+# ---------------------------------------------------------------------------
+# budget semantics
+# ---------------------------------------------------------------------------
+
+
+def test_wires_per_chunk_knob():
+    assert wires_per_chunk(None) == 65536
+    assert wires_per_chunk(1) == 1
+    assert wires_per_chunk(_WIRE_BYTES * 10) == 10
+    with pytest.raises(ValueError, match="positive"):
+        wires_per_chunk(0)
+    with pytest.raises(ValueError, match="positive"):
+        wires_per_chunk(-5)
+
+
+def test_chunked_build_surface():
+    c = chunked_collinear_table(6, 1, memory_budget_bytes=4096)
+    assert c.num_wires == 15
+    assert c.name.startswith("collinear-K6")
+    rep, summary = c.validate_and_summarize(graph=complete_multigraph(6, 1))
+    assert rep.ok
+    lay = collinear_layout(6, 1).layout
+    assert summary == lay.summary()
+    assert c.summary() == lay.summary()
+    assert c.validate().ok
+
+
+@pytest.mark.slow
+def test_b14_grid_build_peak_under_budget():
+    """The declared budget bounds the chunked B_14 build's peak
+    allocations: stream every chunk of the (5, 5, 4) grid — ~10^5 wires
+    — under a 24 MiB budget and tracemalloc must never see more than
+    the budget live at once (the monolithic table alone is bigger)."""
+    budget = 24 << 20
+    ks = (5, 5, 4)
+    c = chunked_grid_table(ks, memory_budget_bytes=budget)
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    wires = 0
+    nchunks = 0
+    for t in c.chunks():
+        wires += t.num_wires
+        nchunks += 1
+    _cur, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert nchunks > 1, "budget did not force chunking"
+    assert wires > 100_000
+    assert peak < budget, f"peak {peak} bytes exceeds budget {budget}"
+
+
+def test_chunk_floor_is_one_group():
+    # grid budgets below one block's working set clamp to one group per
+    # chunk rather than splitting a block (closure requirement)
+    c = chunked_grid_table((2, 1, 1), memory_budget_bytes=1)
+    sizes = [t.num_wires for t in c.chunks()]
+    assert len(sizes) >= 4
+    res = build_grid_layout((2, 1, 1))
+    assert sum(sizes) == res.layout.wire_table().num_wires
