@@ -23,7 +23,9 @@ import numpy as np
 
 from ..layout.model import Layout
 
-__all__ = ["WireStats", "wire_stats", "length_histogram"]
+__all__ = [
+    "WireStats", "wire_stats", "wire_stats_from_lengths", "length_histogram",
+]
 
 
 @dataclass(frozen=True)
@@ -54,7 +56,15 @@ def _lengths(layout: Layout) -> np.ndarray:
 
 def wire_stats(layout: Layout) -> WireStats:
     """Length distribution summary over all wires."""
-    lengths = _lengths(layout)
+    return wire_stats_from_lengths(_lengths(layout))
+
+
+def wire_stats_from_lengths(lengths: np.ndarray) -> WireStats:
+    """Length distribution summary from a per-wire length array — the
+    chunked pipeline concatenates per-chunk ``wire_lengths()`` and gets
+    the same stats as materialising the whole layout (quantiles need
+    every length at once, but one int64 per wire is far smaller than
+    the table)."""
     if len(lengths) == 0:
         raise ValueError("layout has no wires")
     return WireStats(

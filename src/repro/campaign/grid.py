@@ -41,6 +41,7 @@ __all__ = [
     "CampaignPoint",
     "GridError",
     "CONFIG_DEFAULTS",
+    "EXEC_CONFIG_KEYS",
     "normalize_grid",
     "expand_points",
     "spec_digest",
@@ -62,7 +63,16 @@ CONFIG_DEFAULTS: Dict[str, object] = {
     "sat_max_n": 6,
     "threshold": 0.95,
     "seed": 0,
+    "layout_memory_budget": None,
+    "layout_workers": None,
 }
+
+#: Execution knobs: they change *how* the layout stage computes (chunked
+#: out-of-core build, parallel workers), never *what* it computes — the
+#: stage output bytes are identical with or without them.  They are
+#: therefore stripped from :func:`spec_digest`, so run ids, derived
+#: seeds and proofs from runs predating these knobs stay valid.
+EXEC_CONFIG_KEYS = ("layout_memory_budget", "layout_workers")
 
 _AXES = ("ks", "layers", "pin_limit", "rate")
 
@@ -160,6 +170,14 @@ def normalize_grid(spec: Dict[str, object]) -> Dict[str, object]:
     for k in ("node_side", "cycles", "warmup", "benes_batch", "sat_max_n", "seed"):
         cfg[k] = _as_int(cfg[k], f"config.{k}")
     cfg["threshold"] = float(cfg["threshold"])
+    for k in EXEC_CONFIG_KEYS:
+        if cfg[k] is not None:
+            v = _as_int(cfg[k], f"config.{k}")
+            if v < 1:
+                raise GridError(
+                    f"config.{k} must be a positive integer or null, got {v}"
+                )
+            cfg[k] = v
     grid["config"] = cfg
     return grid
 
@@ -215,8 +233,19 @@ def expand_points(grid: Dict[str, object]) -> List[CampaignPoint]:
 
 
 def spec_digest(grid: Dict[str, object]) -> str:
-    """Short content digest of a normalized grid (run-id material)."""
-    return hashlib.sha256(canonical_json(grid)).hexdigest()[:12]
+    """Short content digest of a normalized grid (run-id material).
+
+    Execution knobs (:data:`EXEC_CONFIG_KEYS`) are excluded: the same
+    design grid digests the same whether it runs monolithic, chunked or
+    parallel, so resumes may change them freely mid-campaign.
+    """
+    g = dict(grid)
+    cfg = g.get("config")
+    if isinstance(cfg, dict):
+        g["config"] = {
+            k: v for k, v in cfg.items() if k not in EXEC_CONFIG_KEYS
+        }
+    return hashlib.sha256(canonical_json(g)).hexdigest()[:12]
 
 
 def derive_seed(base_seed: int, *parts: object) -> int:

@@ -88,17 +88,32 @@ def stage_argv(
     raise ValueError(f"unknown stage {stage!r}")
 
 
+def _exec_params(config: Dict[str, object]) -> Optional[Dict[str, object]]:
+    """The layout stage's execution knobs from campaign config, or
+    ``None`` when both are unset (the monolithic path).  These never
+    enter cache keys, proofs or argv — they change how the answer is
+    computed, not the answer."""
+    ex = {}
+    if config.get("layout_memory_budget") is not None:
+        ex["memory_budget_bytes"] = config["layout_memory_budget"]
+    if config.get("layout_workers") is not None:
+        ex["workers"] = config["layout_workers"]
+    return ex or None
+
+
 def _query_with_proof(
     kind: str,
     params: Dict[str, object],
     store: Optional[ArtifactStore],
     use_cache: bool,
+    exec_params: Optional[Dict[str, object]] = None,
 ) -> Tuple[Dict, Dict]:
     """Run one service query and attest it: the returned proof entry
     records the cache key and the digest of the result, with
     ``verified`` true only when re-reading the artifact store yields the
     same bytes (the verify-gate's "validated result digest")."""
-    result = query(kind, params, store=store, use_cache=use_cache)
+    result = query(kind, params, store=store, use_cache=use_cache,
+                   exec_params=exec_params)
     digest = _digest(result)
     entry: Dict[str, object] = {
         "kind": kind,
@@ -161,7 +176,8 @@ def run_stage(
     try:
         if stage == "layout":
             result, q = _query_with_proof(
-                "layout", _layout_params(point, config), store, use_cache
+                "layout", _layout_params(point, config), store, use_cache,
+                exec_params=_exec_params(config),
             )
             s = result["summary"]
             summary = {

@@ -105,6 +105,22 @@ def _pin_list(value: str) -> tuple:
     return tuple(out)
 
 
+def _positive_int(s: str) -> int:
+    """argparse type for flags that must be positive integers; a bad
+    value is an argparse error, so the process exits 2."""
+    try:
+        v = int(s)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {s!r}"
+        ) from e
+    if v < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {s!r}"
+        )
+    return v
+
+
 def _add_cache_opts(sp: argparse.ArgumentParser) -> None:
     sp.add_argument("--cache-dir", type=str, default=None,
                     help="artifact-cache directory (default $REPRO_CACHE_DIR "
@@ -141,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
     l.add_argument("--no-validate", action="store_true")
     l.add_argument("--json", type=str, default=None,
                    help="write the metrics report as JSON")
+    l.add_argument("--memory-budget", type=_positive_int, default=None,
+                   metavar="BYTES",
+                   help="build + validate out-of-core in chunks sized to "
+                        "this working-set byte budget (answer bytes are "
+                        "identical; the cache key is unchanged)")
+    l.add_argument("--workers", type=_positive_int, default=None,
+                   help="parallel worker processes for the chunked "
+                        "build+validate pipeline (implies chunked mode)")
     _add_cache_opts(l)
 
     d = sub.add_parser("dims", help="closed-form layout dimensions")
@@ -314,6 +338,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="parent directory for run trees (default runs/)")
     cr.add_argument("--workers", type=int, default=None,
                     help="multiprocessing workers sharding the points")
+    cr.add_argument("--memory-budget", type=_positive_int, default=None,
+                    metavar="BYTES",
+                    help="run the layout stage out-of-core in chunks "
+                         "sized to this working-set byte budget")
+    cr.add_argument("--layout-workers", type=_positive_int, default=None,
+                    help="parallel worker processes inside each chunked "
+                         "layout build+validate (distinct from --workers, "
+                         "which shards grid points)")
     cr.add_argument("--json", type=str, default=None,
                     help="write the run summary as JSON")
     cr.add_argument("--cache-dir", type=str, default=None,
@@ -413,22 +445,47 @@ def _cmd_verify(args) -> int:
 def _cmd_layout(args) -> int:
     import time
 
+    chunked = args.memory_budget is not None or args.workers is not None
+    if chunked and (args.legacy or args.svg or args.no_validate):
+        print(
+            "layout: --memory-budget/--workers drive the chunked service "
+            "pipeline and cannot be combined with --legacy/--svg/--no-validate",
+            file=sys.stderr,
+        )
+        return 2
+
     # --legacy / --svg / --no-validate need the layout objects in hand;
     # those runs bypass the service layer.  The default run is one
     # cached design query.
     if not (args.legacy or args.svg or args.no_validate):
+        params = {
+            "ks": list(args.ks),
+            "layers": args.layers,
+            "node_side": args.node_side,
+            "track_order": args.track_order,
+            "recirculating": args.recirculating,
+        }
+        if chunked:
+            from .layout import grid_chunk_estimate
+
+            est = grid_chunk_estimate(
+                tuple(args.ks), W=args.node_side, L=args.layers,
+                recirculating=args.recirculating,
+                memory_budget_bytes=args.memory_budget,
+            )
+            print(
+                f"[chunked {est['chunks']} chunks x "
+                f"{est['wires_per_chunk']} wires, "
+                f"~{est['est_peak_bytes'] / (1 << 20):.1f} MiB peak "
+                f"working set, workers={args.workers or 1}]",
+                file=sys.stderr,
+            )
+            if args.memory_budget is not None:
+                params["memory_budget_bytes"] = args.memory_budget
+            if args.workers is not None:
+                params["workers"] = args.workers
         t0 = time.perf_counter()
-        result = _service_query(
-            "layout",
-            {
-                "ks": list(args.ks),
-                "layers": args.layers,
-                "node_side": args.node_side,
-                "track_order": args.track_order,
-                "recirculating": args.recirculating,
-            },
-            args,
-        )
+        result = _service_query("layout", params, args)
         query_s = time.perf_counter() - t0
         print(
             f"validation (table): {'OK' if result['valid'] else 'FAILED'}  "
@@ -990,6 +1047,8 @@ def _campaign_spec(args) -> dict:
             ("benes_batch", args.benes_batch),
             ("sat_max_n", args.sat_max_n),
             ("seed", args.seed),
+            ("layout_memory_budget", args.memory_budget),
+            ("layout_workers", args.layout_workers),
         )
         if v is not None
     }

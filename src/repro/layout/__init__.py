@@ -53,7 +53,10 @@ from .collinear import (
     track_assignment,
 )
 from .geometry import LayerPair, Rect, Segment, THOMPSON_LAYERS, Wire
-from .grid_scheme import GridDims, GridLayoutResult, build_grid_layout, grid_dims, max_wire_bounds
+from .grid_scheme import (
+    GridDims, GridLayoutResult, build_grid_layout, grid_dims, grid_graph,
+    max_wire_bounds,
+)
 from .model import Layout, LayoutModel, multilayer_model, thompson_model
 from .tracks import TrackGrouping, base_layer_pair
 from .validate import (
@@ -70,10 +73,12 @@ from .chunked import (
     chunked_collinear_table,
     chunked_grid2d_table,
     chunked_grid_table,
+    grid_chunk_estimate,
     summarize_chunks,
     validate_table_chunked,
     wires_per_chunk,
 )
+from .chunked_parallel import parallel_validate
 
 __all__ = [
     "Rect",
@@ -97,6 +102,8 @@ __all__ = [
     "chunked_collinear_table",
     "chunked_grid2d_table",
     "chunked_grid_table",
+    "grid_chunk_estimate",
+    "parallel_validate",
     "summarize_chunks",
     "validate_table_chunked",
     "wires_per_chunk",
@@ -115,6 +122,7 @@ __all__ = [
     "GridDims",
     "GridLayoutResult",
     "grid_dims",
+    "grid_graph",
     "build_grid_layout",
     "max_wire_bounds",
     "cut_congestion",

@@ -97,6 +97,7 @@ __all__ = [
     "chunked_collinear_table",
     "chunked_grid2d_table",
     "chunked_grid_table",
+    "grid_chunk_estimate",
     "summarize_chunks",
     "validate_table_chunked",
     "wires_per_chunk",
@@ -118,6 +119,13 @@ def wires_per_chunk(memory_budget_bytes: Optional[int]) -> int:
     chunk sources honour the result down to their natural granularity
     floor (one block / grid column / grid row per chunk); the collinear
     source honours it exactly, down to single-wire chunks.
+
+    The floor is pinned at **one wire per chunk**: any positive budget —
+    even a single byte, far below the ~1 KiB per-wire working-set
+    estimate — yields ``1`` rather than an error or a zero-size chunk,
+    so arbitrarily tight budgets degrade to smaller chunks, never to a
+    refusal.  Non-positive budgets are a ``ValueError`` (use ``None``
+    for "unbudgeted", not ``0``).
     """
     if memory_budget_bytes is None:
         return _DEFAULT_CHUNK_WIRES
@@ -148,8 +156,33 @@ class ChunkedBuild:
     _chunks: Callable[[], Iterator[WireTable]] = field(
         default=None, repr=False
     )
+    # parallel-pipeline surface: a picklable ``recipe`` rebuilds this
+    # ChunkedBuild in a worker process, ``descriptors`` lists every chunk
+    # as a small picklable tuple in emission order, ``_materialize(desc,
+    # views)`` turns one descriptor into its WireTable (``views`` lets
+    # workers pass shared-memory copies of the ``_bulk()`` arrays), and
+    # ``_bulk()`` returns the O(network) arrays every chunk needs, to be
+    # published once via ``repro.backend.shm``.  Sources without this
+    # surface (custom models, grid2d) still parallelise through the
+    # generic buffered fallback.
+    recipe: Optional[Tuple] = field(default=None, repr=False)
+    descriptors: Optional[List[Tuple]] = field(default=None, repr=False)
+    _materialize: Optional[Callable[..., WireTable]] = field(
+        default=None, repr=False
+    )
+    _bulk: Optional[Callable[[], Dict[str, np.ndarray]]] = field(
+        default=None, repr=False
+    )
+    _summary_cache: Optional[Dict[str, int]] = field(default=None, repr=False)
 
     def chunks(self) -> Iterator[WireTable]:
+        if self.descriptors is not None and self._materialize is not None:
+            def gen() -> Iterator[WireTable]:
+                for d in self.descriptors:
+                    t = self._materialize(d)
+                    if t.num_wires:
+                        yield t
+            return gen()
         return self._chunks()
 
     def table(self) -> WireTable:
@@ -164,7 +197,15 @@ class ChunkedBuild:
         backend=None,
         num_buckets: int = 8,
         spill_dir: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> ValidationReport:
+        if workers is not None:
+            from .chunked_parallel import parallel_validate
+            return parallel_validate(
+                self, graph=graph, check_nodes=check_nodes,
+                check_vias=check_vias, backend=backend,
+                num_buckets=num_buckets, spill_dir=spill_dir, workers=workers,
+            )
         return validate_table_chunked(
             self.chunks(), self.nodes, self.model, graph=graph,
             check_nodes=check_nodes, check_vias=check_vias, backend=backend,
@@ -172,6 +213,10 @@ class ChunkedBuild:
         )
 
     def summary(self) -> Dict[str, int]:
+        """``Layout.summary()`` dict; reuses the stats pass of an earlier
+        ``validate_and_summarize`` call instead of re-enumerating chunks."""
+        if self._summary_cache is not None:
+            return dict(self._summary_cache)
         return summarize_chunks(self.chunks(), self.nodes, self.model)
 
     def validate_and_summarize(
@@ -182,23 +227,35 @@ class ChunkedBuild:
         backend=None,
         num_buckets: int = 8,
         spill_dir: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> Tuple[ValidationReport, Dict[str, int]]:
         """One pass over the chunk stream feeding both the validator and
         the stats accumulator."""
-        v = ChunkedValidator(
-            self.nodes, self.model, graph=graph, check_nodes=check_nodes,
-            check_vias=check_vias, backend=backend, num_buckets=num_buckets,
-            spill_dir=spill_dir,
-        )
-        st = ChunkStats()
-        try:
-            for t in self.chunks():
-                v.feed(t)
-                st.feed(t)
-            rep = v.finalize()
-        finally:
-            v.close()
-        return rep, st.summary(self.nodes, self.model)
+        if workers is not None:
+            from .chunked_parallel import parallel_validate
+            rep, summ = parallel_validate(
+                self, graph=graph, check_nodes=check_nodes,
+                check_vias=check_vias, backend=backend,
+                num_buckets=num_buckets, spill_dir=spill_dir,
+                workers=workers, want_stats=True,
+            )
+        else:
+            v = ChunkedValidator(
+                self.nodes, self.model, graph=graph, check_nodes=check_nodes,
+                check_vias=check_vias, backend=backend,
+                num_buckets=num_buckets, spill_dir=spill_dir,
+            )
+            st = ChunkStats()
+            try:
+                for t in self.chunks():
+                    v.feed(t)
+                    st.feed(t)
+                rep = v.finalize()
+            finally:
+                v.close()
+            summ = st.summary(self.nodes, self.model)
+        self._summary_cache = dict(summ)
+        return rep, summ
 
 
 # ---------------------------------------------------------------------------
@@ -235,40 +292,60 @@ def chunked_collinear_table(
     vl = np.int64(layers.vertical)
     hl = np.int64(layers.horizontal)
 
-    def chunks() -> Iterator[WireTable]:
-        a0, b0, t0 = track_assignment_arrays(n, "forward")
-        for lo in range(0, nw, wpc):
-            hi = min(lo + wpc, nw)
-            idx = np.arange(lo, hi, dtype=np.int64)
-            li = idx // m
-            copy = idx % m
-            a, b = a0[li], b0[li]
-            t = t0[li] * m + copy
-            if order == "reversed":
-                t = tracks_total - 1 - t
-            y = top + 1 + t
-            xa = a * pitch + (b - 1) * m + copy
-            xb = b * pitch + a * m + copy
-            cn = hi - lo
-            rows = np.empty((cn, 3, 5), dtype=np.int64)
-            topv = np.full(cn, top, dtype=np.int64)
-            rows[:, 0] = np.stack(
-                [xa, topv, xa, y, np.full(cn, vl)], axis=1
-            )
-            rows[:, 1] = np.stack(
-                [xa, y, xb, y, np.full(cn, hl)], axis=1
-            )
-            rows[:, 2] = np.stack(
-                [xb, topv, xb, y, np.full(cn, vl)], axis=1
-            )
-            flat = rows.reshape(cn * 3, 5)
-            nets = list(zip(a.tolist(), b.tolist(), copy.tolist()))
-            yield WireTable.from_segment_arrays(
-                nets,
-                np.arange(cn + 1, dtype=np.int64) * 3,
-                flat[:, 0], flat[:, 1], flat[:, 2], flat[:, 3], flat[:, 4],
-            )
+    _bulk_cache: Dict[str, np.ndarray] = {}
 
+    def bulk() -> Dict[str, np.ndarray]:
+        if not _bulk_cache:
+            a0, b0, t0 = track_assignment_arrays(n, "forward")
+            _bulk_cache.update(a0=a0, b0=b0, t0=t0)
+        return dict(_bulk_cache)
+
+    def materialize(desc, views=None) -> WireTable:
+        arrs = views if views is not None else bulk()
+        a0, b0, t0 = arrs["a0"], arrs["b0"], arrs["t0"]
+        _, lo, hi = desc
+        idx = np.arange(lo, hi, dtype=np.int64)
+        li = idx // m
+        copy = idx % m
+        a, b = a0[li], b0[li]
+        t = t0[li] * m + copy
+        if order == "reversed":
+            t = tracks_total - 1 - t
+        y = top + 1 + t
+        xa = a * pitch + (b - 1) * m + copy
+        xb = b * pitch + a * m + copy
+        cn = hi - lo
+        rows = np.empty((cn, 3, 5), dtype=np.int64)
+        topv = np.full(cn, top, dtype=np.int64)
+        rows[:, 0] = np.stack(
+            [xa, topv, xa, y, np.full(cn, vl)], axis=1
+        )
+        rows[:, 1] = np.stack(
+            [xa, y, xb, y, np.full(cn, hl)], axis=1
+        )
+        rows[:, 2] = np.stack(
+            [xb, topv, xb, y, np.full(cn, vl)], axis=1
+        )
+        flat = rows.reshape(cn * 3, 5)
+        nets = list(zip(a.tolist(), b.tolist(), copy.tolist()))
+        return WireTable.from_segment_arrays(
+            nets,
+            np.arange(cn + 1, dtype=np.int64) * 3,
+            flat[:, 0], flat[:, 1], flat[:, 2], flat[:, 3], flat[:, 4],
+        )
+
+    descriptors = [
+        ("rng", lo, min(lo + wpc, nw)) for lo in range(0, nw, wpc)
+    ]
+    # a recipe must rebuild this exact source from primitives alone, so
+    # custom models / layer pairs fall back to the buffered parallel path
+    recipe = None
+    if model is None and layers is THOMPSON_LAYERS:
+        recipe = (
+            "collinear", int(n), int(multiplicity),
+            None if node_side is None else int(node_side),
+            order, memory_budget_bytes,
+        )
     nodes = {a: Rect(a * pitch, 0, side, side) for a in range(n)}
     return ChunkedBuild(
         name=f"collinear-K{n}x{multiplicity}",
@@ -277,8 +354,55 @@ def chunked_collinear_table(
         chunk_wires=wpc,
         memory_budget_bytes=memory_budget_bytes,
         num_wires=nw,
-        _chunks=chunks,
+        recipe=recipe,
+        descriptors=descriptors,
+        _materialize=materialize,
+        _bulk=bulk,
     )
+
+
+def _grid_grain(
+    dims: GridDims, sb_n: int, recirculating: bool,
+    memory_budget_bytes: Optional[int],
+) -> Tuple[int, int, int, int, int]:
+    """Chunk granularity of the grid source for a byte budget:
+    ``(wires_per_chunk, wires_per_block, blocks_per_intra_chunk,
+    grid_cols_per_chunk, grid_rows_per_chunk)``."""
+    R = dims.block.nrows
+    # per-block wire estimate: ~2 wires per (row, boundary) + feedback
+    per_block = 2 * R * sb_n + (R if recirculating else 0)
+    wpc = wires_per_chunk(memory_budget_bytes)
+    bpc = max(1, wpc // max(per_block, 1))
+    cpc = max(1, bpc // dims.grid_rows)  # grid columns per inter-col chunk
+    rpc = max(1, bpc // dims.grid_cols)  # grid rows per inter-row chunk
+    return wpc, per_block, bpc, cpc, rpc
+
+
+def grid_chunk_estimate(
+    ks: Sequence[int],
+    W: int = 4,
+    L: int = 2,
+    recirculating: bool = False,
+    memory_budget_bytes: Optional[int] = None,
+) -> Dict[str, int]:
+    """Planning numbers for a chunked grid build without building wires:
+    descriptor count, chunk-size target, and a peak working-set estimate
+    (the chunk-size target or the one-block granularity floor, whichever
+    dominates, times the per-wire working-set constant)."""
+    dims = grid_dims(ks, W, L, recirculating=recirculating)
+    sb = SwapButterfly.from_ks(dims.ks)
+    wpc, per_block, bpc, cpc, rpc = _grid_grain(
+        dims, sb.n, recirculating, memory_budget_bytes
+    )
+    gc, gr = dims.grid_cols, dims.grid_rows
+    NB = gc * gr
+    nchunks = -(-NB // bpc) + -(-gc // cpc) + -(-gr // rpc)
+    return {
+        "chunks": int(nchunks),
+        "wires_per_chunk": int(wpc),
+        "est_total_wires": int(per_block * NB),
+        "est_peak_bytes": int(max(wpc, per_block) * _WIRE_BYTES),
+    }
 
 
 def chunked_grid_table(
@@ -304,43 +428,54 @@ def chunked_grid_table(
     gc, gr = dims.grid_cols, dims.grid_rows
     k2 = dims.ks[1]
     NB = gr * gc
-    R = dims.block.nrows
-    # per-block wire estimate: ~2 wires per (row, boundary) + feedback
-    per_block = 2 * R * sb.n + (R if recirculating else 0)
-    wpc = wires_per_chunk(memory_budget_bytes)
-    bpc = max(1, wpc // max(per_block, 1))
-    cpc = max(1, bpc // gr)  # grid columns per inter-col chunk
-    rpc = max(1, bpc // gc)  # grid rows per inter-row chunk
+    wpc, _per_block, bpc, cpc, rpc = _grid_grain(
+        dims, sb.n, recirculating, memory_budget_bytes
+    )
 
     def sub(bids: np.ndarray, phase: str) -> WireTable:
         return _cats_table(_grid_cats(
             sb, dims, track_order, recirculating, bids, frozenset({phase})
         ))
 
-    def chunks() -> Iterator[WireTable]:
-        all_b = np.arange(NB, dtype=np.int64)
-        for lo in range(0, NB, bpc):
-            t = sub(all_b[lo:min(lo + bpc, NB)], "intra")
-            if t.num_wires:
-                yield t
-        bcol = all_b & (gc - 1)
-        for c0 in range(0, gc, cpc):
-            t = sub(all_b[(bcol >= c0) & (bcol < c0 + cpc)], "inter-col")
-            if t.num_wires:
-                yield t
-        brow = all_b >> k2
-        for g0 in range(0, gr, rpc):
-            t = sub(all_b[(brow >= g0) & (brow < g0 + rpc)], "inter-row")
-            if t.num_wires:
-                yield t
+    _bulk_cache: Dict[str, np.ndarray] = {}
 
+    def bulk() -> Dict[str, np.ndarray]:
+        if not _bulk_cache:
+            all_b = np.arange(NB, dtype=np.int64)
+            _bulk_cache.update(
+                all_b=all_b, bcol=all_b & (gc - 1), brow=all_b >> k2
+            )
+        return dict(_bulk_cache)
+
+    def materialize(desc, views=None) -> WireTable:
+        arrs = views if views is not None else bulk()
+        kind, lo, hi = desc
+        if kind == "intra":
+            return sub(arrs["all_b"][lo:hi], "intra")
+        if kind == "inter-col":
+            bcol = arrs["bcol"]
+            return sub(arrs["all_b"][(bcol >= lo) & (bcol < hi)], "inter-col")
+        brow = arrs["brow"]
+        return sub(arrs["all_b"][(brow >= lo) & (brow < hi)], "inter-row")
+
+    descriptors = (
+        [("intra", lo, min(lo + bpc, NB)) for lo in range(0, NB, bpc)]
+        + [("inter-col", c0, c0 + cpc) for c0 in range(0, gc, cpc)]
+        + [("inter-row", g0, g0 + rpc) for g0 in range(0, gr, rpc)]
+    )
     return ChunkedBuild(
         name=f"grid-B{dims.n}-L{L}",
         model=model,
         nodes=build_grid_nodes(sb, dims),
         chunk_wires=wpc,
         memory_budget_bytes=memory_budget_bytes,
-        _chunks=chunks,
+        recipe=(
+            "grid", tuple(int(k) for k in ks), int(W), int(L),
+            track_order, bool(recirculating), memory_budget_bytes,
+        ),
+        descriptors=descriptors,
+        _materialize=materialize,
+        _bulk=bulk,
     )
 
 
@@ -572,21 +707,40 @@ class _SpillStore:
     def bucket(self, k: int) -> Optional[Tuple[List[np.ndarray], List]]:
         if not self.parts[k]:
             return None
-        mats, olists = [], []
-        for p in self.parts[k]:
-            with open(p, "rb") as f:
-                mat, ol = pickle.load(f)
-            mats.append(mat)
-            olists.append(ol)
-        mat = np.concatenate(mats, axis=1)
-        objs = [o for ol in olists for o in ol]
-        return [mat[i] for i in range(self.ncols)], objs
+        return _load_parts(self.parts[k], self.ncols)
 
     def iter_buckets(self):
         for k in range(self.nb):
             b = self.bucket(k)
             if b is not None:
                 yield k, b[0], b[1]
+
+
+def _load_parts(
+    parts: List, ncols: int
+) -> Tuple[List[np.ndarray], List]:
+    """Reload and concatenate spill parts in append order.
+
+    Each entry is either a plain path or ``(path, offsets)`` where
+    ``offsets`` is a per-column additive rebase vector — how the
+    parallel reducer shifts a worker's span-local wire / via-position /
+    terminal-sequence numbering into the global frame without rewriting
+    the spilled bytes.
+    """
+    mats, olists = [], []
+    for p in parts:
+        off = None
+        if isinstance(p, tuple):
+            p, off = p
+        with open(p, "rb") as f:
+            mat, ol = pickle.load(f)
+        if off is not None:
+            mat = mat + np.asarray(off, dtype=np.int64).reshape(-1, 1)
+        mats.append(mat)
+        olists.append(ol)
+    mat = np.concatenate(mats, axis=1)
+    objs = [o for ol in olists for o in ol]
+    return [mat[i] for i in range(ncols)], objs
 
 
 class _Tally:
@@ -624,6 +778,36 @@ class _KeyedTally:
 
     def merged(self) -> List[str]:
         return [m for _k, m in sorted(self.keyed, key=lambda kv: kv[0])]
+
+
+def _fast_template(graph: Graph) -> Optional[Dict]:
+    """Accumulator template for the realizes-graph array fast path, or
+    ``None`` when the graph has no staged arrays.  ``_fast_stub(k, kk)``
+    builds the worker-side half (no ``want_rows``/``counts`` — workers
+    only accumulate, the reducer compares)."""
+    if graph._staged_arrays() is None:
+        return None
+    try:
+        edges, counts = graph.to_edge_array()
+    except ValueError:
+        return None
+    k = edges.shape[2] if edges.ndim == 3 else 0
+    kk = k if k else 1
+    tpl = _fast_stub(k, kk)
+    tpl["want_rows"] = edges.reshape(len(counts), 2 * kk)
+    tpl["counts"] = counts
+    return tpl
+
+
+def _fast_stub(k: int, kk: int) -> Dict:
+    return {
+        "k": k,
+        "kk": kk,
+        "want_rows": None,
+        "counts": None,
+        "uniq": np.zeros((0, 2 * kk), dtype=np.int64),
+        "agg": np.zeros(0, dtype=np.int64),
+    }
 
 
 class ChunkedValidator:
@@ -706,23 +890,9 @@ class ChunkedValidator:
             self._bi[False] = _BandIndex(xbands)
         # realizes-graph: exact Counter always; array fast-path while viable
         self._got: Counter = Counter()
-        self._fast: Optional[Dict] = None
-        if graph is not None and graph._staged_arrays() is not None:
-            try:
-                edges, counts = graph.to_edge_array()
-            except ValueError:
-                edges = None
-            if edges is not None:
-                k = edges.shape[2] if edges.ndim == 3 else 0
-                kk = k if k else 1
-                self._fast = {
-                    "k": k,
-                    "kk": kk,
-                    "want_rows": edges.reshape(len(counts), 2 * kk),
-                    "counts": counts,
-                    "uniq": np.zeros((0, 2 * kk), dtype=np.int64),
-                    "agg": np.zeros(0, dtype=np.int64),
-                }
+        self._fast: Optional[Dict] = (
+            _fast_template(graph) if graph is not None else None
+        )
         self._finalized = False
 
     # -- feeding ---------------------------------------------------------
@@ -902,134 +1072,189 @@ class ChunkedValidator:
         if self._finalized:
             raise RuntimeError("validator already finalized")
         self._finalized = True
-        be = self.be
-        rep = ValidationReport(ok=True)
-        rep.checks_run.append("layer-discipline")
-        _bulk(rep, self._t_layer.count, iter(self._t_layer.msgs))
-        rep.checks_run.append("contiguity-terminals")
-        _bulk(rep, self._t_contig.count, iter(self._t_contig.msgs))
-        rep.checks_run.append("track-overlap")
-        kt = _KeyedTally()
-        for _k, cols, objs in self._tracks.iter_buckets():
-            layer, horiz, track, lo, hi, gw = cols
-            c, keyed = _track_overlap_sweep(
-                layer, horiz, track, lo, hi, gw,
-                lambda r, o=objs: o[r], be=be,
-            )
-            kt.add(c, keyed)
-        _bulk(rep, kt.count, iter(kt.merged()))
-        if self.check_vias:
-            rep.checks_run.append("via-conflicts")
-            kt = _KeyedTally()
-            for _k, cols, objs in self._cols.iter_buckets():
-                cx, cy, zlo, zhi, gcw = cols
-                c, keyed = _via_col_sweep(
-                    cx, cy, zlo, zhi, gcw, lambda r, o=objs: o[r], be=be
-                )
-                kt.add(c, keyed)
-            _bulk(rep, kt.count, iter(kt.merged()))
-            seg_count = 0
-            seg_msgs: List[str] = []
-            for is_h in (True, False):
-                kt = _KeyedTally()
-                for k in range(self.nb):
-                    s = self._segs[is_h].bucket(k)
-                    if s is None:
-                        continue
-                    qcols: List[List[np.ndarray]] = []
-                    qobjs: List = []
-                    qsecs: List[np.ndarray] = []
-                    for sect in (0, 1, 2):
-                        q = self._qrys[(is_h, sect)].bucket(k)
-                        if q is None:
-                            continue
-                        qcols.append(q[0])
-                        qobjs.extend(q[1])
-                        qsecs.append(
-                            np.full(len(q[0][0]), sect, dtype=np.int64)
-                        )
-                    if not qcols:
-                        continue
-                    ql, qx, qy, gqw, qpos, qj = (
-                        np.concatenate([qc[i] for qc in qcols])
-                        for i in range(6)
-                    )
-                    qsec = np.concatenate(qsecs)
-                    s_lay, s_fix, s_lo, s_hi, s_gw = s[0]
-                    c, keyed = _via_seg_orientation(
-                        s_lay, s_fix, s_lo, s_hi, s_gw,
-                        lambda r, o=s[1]: o[r],
-                        ql, qx, qy, gqw,
-                        lambda i, o=qobjs: o[i],
-                        is_h, be=be,
-                    )
-                    kt.add(c, [
-                        ((int(qsec[qi]), int(qpos[qi]), int(qj[qi]), j), m)
-                        for (qi, j), m in keyed
-                    ])
-                seg_count += kt.count
-                seg_msgs.extend(kt.merged()[:MAX_ERRORS_KEPT])
-            _bulk(rep, seg_count, iter(seg_msgs))
-            rep.checks_run.append("terminals-distinct")
-            kt = _KeyedTally()
-            for _k, cols, objs in self._terms.iter_buckets():
-                tx, ty, seq, gtw = cols
-                order = np.lexsort((seq, ty, tx))
-                X, Y, S_ = tx[order], ty[order], seq[order]
-                onets = [objs[i] for i in order.tolist()]
-                ids: Dict = {}
-                N_ = np.fromiter(
-                    (ids.setdefault(o, len(ids)) for o in onets),
-                    np.int64, len(onets),
-                )
-                same = (X[1:] == X[:-1]) & (Y[1:] == Y[:-1])
-                err = same & (N_[1:] != N_[:-1])
-                c = int(err.sum())
-                if not c:
-                    continue
-                keyed = []
-                for i in (np.flatnonzero(err) + 1).tolist():
-                    if len(keyed) >= MAX_ERRORS_KEPT:
-                        break
-                    p = (int(X[i]), int(Y[i]))
-                    keyed.append(((p[0], p[1], int(S_[i])), (
-                        f"terminal point {p} shared by wires "
-                        f"{onets[i - 1]} and {onets[i]}"
-                    )))
-                kt.add(c, keyed)
-            _bulk(rep, kt.count, iter(kt.merged()))
-        if self.check_nodes:
-            _vt_nodes_disjoint(self.nodes, rep, be=be)
-            rep.checks_run.append("wires-avoid-nodes")
-            _bulk(rep, self._t_avoid.count, iter(self._t_avoid.msgs))
-        if self.graph is not None:
-            rep.checks_run.append("realizes-graph")
-            placed = set(self.nodes)
-            ok = False
-            f = self._fast
-            # zero wires fed: monolithic _canon_net_rows([]) returns None
-            # and falls back — mirror that
-            if self._wire_off == 0:
-                f = None
-            if f is not None:
-                want_rows = f["want_rows"]
-                if (
-                    f["uniq"].shape == want_rows.shape
-                    and np.array_equal(f["uniq"], want_rows)
-                    and np.array_equal(f["agg"], f["counts"])
-                ):
-                    ok = _staged_nodes_placed(
-                        want_rows, f["k"], f["kk"], placed
-                    )
-            if not ok:
-                _realizes_fallback(self._got, placed, self.graph, rep)
-        self.close()
-        return rep
+
+        def run_jobs(payloads):
+            return [_sweep_job(p, be=self.be) for p in payloads]
+
+        return _reduce_finalize(self, run_jobs)
 
     def close(self) -> None:
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
+
+
+def _sweep_job(payload: Tuple, be=None) -> Tuple[int, List[Tuple[Tuple, str]]]:
+    """Run one bucket sweep described by a picklable payload:
+    ``(kind, is_h, parts_dict[, backend_name])``.  The job reloads its
+    own spill parts, so a process-pool worker ships only paths; the
+    serial path calls it inline with the validator's backend.  Returns
+    ``(count, keyed_messages)``."""
+    kind, is_h, parts = payload[0], payload[1], payload[2]
+    if be is None:
+        be = get_backend(payload[3] if len(payload) > 3 else None)
+    if kind == "tracks":
+        cols, objs = _load_parts(parts["rows"], 6)
+        layer, horiz, track, lo, hi, gw = cols
+        return _track_overlap_sweep(
+            layer, horiz, track, lo, hi, gw, lambda r: objs[r], be=be
+        )
+    if kind == "viacol":
+        cols, objs = _load_parts(parts["rows"], 5)
+        cx, cy, zlo, zhi, gcw = cols
+        return _via_col_sweep(
+            cx, cy, zlo, zhi, gcw, lambda r: objs[r], be=be
+        )
+    if kind == "viaseg":
+        s_cols, s_objs = _load_parts(parts["seg"], 5)
+        qcols: List[List[np.ndarray]] = []
+        qobjs: List = []
+        qsecs: List[np.ndarray] = []
+        for sect in (0, 1, 2):
+            pl = parts[f"q{sect}"]
+            if not pl:
+                continue
+            qc, qo = _load_parts(pl, 6)
+            qcols.append(qc)
+            qobjs.extend(qo)
+            qsecs.append(np.full(len(qc[0]), sect, dtype=np.int64))
+        ql, qx, qy, gqw, qpos, qj = (
+            np.concatenate([qc[i] for qc in qcols]) for i in range(6)
+        )
+        qsec = np.concatenate(qsecs)
+        s_lay, s_fix, s_lo, s_hi, s_gw = s_cols
+        c, keyed = _via_seg_orientation(
+            s_lay, s_fix, s_lo, s_hi, s_gw,
+            lambda r: s_objs[r],
+            ql, qx, qy, gqw,
+            lambda i: qobjs[i],
+            is_h, be=be,
+        )
+        return c, [
+            ((int(qsec[qi]), int(qpos[qi]), int(qj[qi]), j), m)
+            for (qi, j), m in keyed
+        ]
+    if kind != "terms":
+        raise ValueError(f"unknown sweep kind {kind!r}")
+    cols, objs = _load_parts(parts["rows"], 4)
+    tx, ty, seq, _gtw = cols
+    order = np.lexsort((seq, ty, tx))
+    X, Y, S_ = tx[order], ty[order], seq[order]
+    onets = [objs[i] for i in order.tolist()]
+    ids: Dict = {}
+    N_ = np.fromiter(
+        (ids.setdefault(o, len(ids)) for o in onets),
+        np.int64, len(onets),
+    )
+    same = (X[1:] == X[:-1]) & (Y[1:] == Y[:-1])
+    err = same & (N_[1:] != N_[:-1])
+    c = int(err.sum())
+    if not c:
+        return 0, []
+    keyed = []
+    for i in (np.flatnonzero(err) + 1).tolist():
+        if len(keyed) >= MAX_ERRORS_KEPT:
+            break
+        p = (int(X[i]), int(Y[i]))
+        keyed.append(((p[0], p[1], int(S_[i])), (
+            f"terminal point {p} shared by wires "
+            f"{onets[i - 1]} and {onets[i]}"
+        )))
+    return c, keyed
+
+
+def _sweep_payloads(v: "ChunkedValidator") -> List[Tuple]:
+    """Every grouped-check bucket sweep of ``v`` as an independent job
+    payload, in deterministic (check, orientation, bucket) order."""
+    payloads: List[Tuple] = []
+    for k in range(v.nb):
+        if v._tracks.parts[k]:
+            payloads.append(("tracks", None, {"rows": v._tracks.parts[k]}))
+    if v.check_vias:
+        for k in range(v.nb):
+            if v._cols.parts[k]:
+                payloads.append(("viacol", None, {"rows": v._cols.parts[k]}))
+        for is_h in (True, False):
+            for k in range(v.nb):
+                seg_parts = v._segs[is_h].parts[k]
+                if not seg_parts:
+                    continue
+                qp = {
+                    f"q{s}": v._qrys[(is_h, s)].parts[k] for s in (0, 1, 2)
+                }
+                if not any(qp.values()):
+                    continue
+                payloads.append(("viaseg", is_h, {"seg": seg_parts, **qp}))
+        for k in range(v.nb):
+            if v._terms.parts[k]:
+                payloads.append(("terms", None, {"rows": v._terms.parts[k]}))
+    return payloads
+
+
+def _reduce_finalize(v: "ChunkedValidator", run_jobs) -> ValidationReport:
+    """Assemble the final report from ``v``'s accumulated state.
+
+    ``run_jobs(payloads)`` executes the bucket-sweep payloads and returns
+    their ``(count, keyed)`` results in payload order — inline for the
+    serial path, on a process pool for the parallel one.  The assembly
+    (check order, keyed-message re-sort, per-orientation and global
+    caps) is identical either way, which is what keeps the parallel
+    report byte-identical to the serial one.
+    """
+    rep = ValidationReport(ok=True)
+    rep.checks_run.append("layer-discipline")
+    _bulk(rep, v._t_layer.count, iter(v._t_layer.msgs))
+    rep.checks_run.append("contiguity-terminals")
+    _bulk(rep, v._t_contig.count, iter(v._t_contig.msgs))
+    payloads = _sweep_payloads(v)
+    results = run_jobs(payloads)
+    by_kind: Dict[Tuple, _KeyedTally] = defaultdict(_KeyedTally)
+    for p, res in zip(payloads, results):
+        by_kind[(p[0], p[1])].add(*res)
+    rep.checks_run.append("track-overlap")
+    kt = by_kind[("tracks", None)]
+    _bulk(rep, kt.count, iter(kt.merged()))
+    if v.check_vias:
+        rep.checks_run.append("via-conflicts")
+        kt = by_kind[("viacol", None)]
+        _bulk(rep, kt.count, iter(kt.merged()))
+        seg_count = 0
+        seg_msgs: List[str] = []
+        for is_h in (True, False):
+            kt = by_kind[("viaseg", is_h)]
+            seg_count += kt.count
+            seg_msgs.extend(kt.merged()[:MAX_ERRORS_KEPT])
+        _bulk(rep, seg_count, iter(seg_msgs))
+        rep.checks_run.append("terminals-distinct")
+        kt = by_kind[("terms", None)]
+        _bulk(rep, kt.count, iter(kt.merged()))
+    if v.check_nodes:
+        _vt_nodes_disjoint(v.nodes, rep, be=v.be)
+        rep.checks_run.append("wires-avoid-nodes")
+        _bulk(rep, v._t_avoid.count, iter(v._t_avoid.msgs))
+    if v.graph is not None:
+        rep.checks_run.append("realizes-graph")
+        placed = set(v.nodes)
+        ok = False
+        f = v._fast
+        # zero wires fed: monolithic _canon_net_rows([]) returns None
+        # and falls back — mirror that
+        if v._wire_off == 0:
+            f = None
+        if f is not None:
+            want_rows = f["want_rows"]
+            if (
+                f["uniq"].shape == want_rows.shape
+                and np.array_equal(f["uniq"], want_rows)
+                and np.array_equal(f["agg"], f["counts"])
+            ):
+                ok = _staged_nodes_placed(
+                    want_rows, f["k"], f["kk"], placed
+                )
+        if not ok:
+            _realizes_fallback(v._got, placed, v.graph, rep)
+    v.close()
+    return rep
 
 
 def validate_table_chunked(
@@ -1042,9 +1267,23 @@ def validate_table_chunked(
     backend=None,
     num_buckets: int = 8,
     spill_dir: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ValidationReport:
     """Validate a chunk stream; byte-identical report to running
-    :func:`~repro.layout.validate.validate_table` on the concatenation."""
+    :func:`~repro.layout.validate.validate_table` on the concatenation.
+
+    ``workers`` (``None`` = serial) fans the feed and the bucket sweeps
+    out over a process pool — a :class:`ChunkedBuild` with a recipe
+    streams descriptors, anything else falls back to buffering the
+    chunks — with a report still byte-identical to the serial one.
+    """
+    if workers is not None:
+        from .chunked_parallel import parallel_validate
+        return parallel_validate(
+            chunks, nodes=nodes, model=model, graph=graph,
+            check_nodes=check_nodes, check_vias=check_vias, backend=backend,
+            num_buckets=num_buckets, spill_dir=spill_dir, workers=workers,
+        )
     v = ChunkedValidator(
         nodes, model, graph=graph, check_nodes=check_nodes,
         check_vias=check_vias, backend=backend, num_buckets=num_buckets,

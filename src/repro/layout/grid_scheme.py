@@ -32,7 +32,10 @@ from .geometry import Rect, Wire
 from .model import Layout, multilayer_model, thompson_model
 from .tracks import TrackGrouping, base_layer_pair
 
-__all__ = ["GridDims", "GridLayoutResult", "grid_dims", "build_grid_layout", "max_wire_bounds"]
+__all__ = [
+    "GridDims", "GridLayoutResult", "grid_dims", "grid_graph",
+    "build_grid_layout", "max_wire_bounds",
+]
 
 Point = Tuple[int, int]
 
@@ -193,6 +196,17 @@ def max_wire_bounds(dims: GridDims) -> Tuple[int, int]:
     return lo, hi
 
 
+def grid_graph(sb: SwapButterfly, recirculating: bool = False) -> Graph:
+    """The connection graph a grid-scheme layout must realize: the
+    swap-butterfly itself, plus the row-for-row output->input feedback
+    edges when recirculating."""
+    g = sb.graph()
+    if recirculating:
+        for u in range(sb.rows):
+            g.add_edge((u, sb.n), (u, 0))
+    return g
+
+
 @dataclass
 class GridLayoutResult:
     """A built grid-scheme layout plus its provenance."""
@@ -205,11 +219,7 @@ class GridLayoutResult:
 
     @property
     def graph(self) -> Graph:
-        g = self.sb.graph()
-        if self.recirculating:
-            for u in range(self.sb.rows):
-                g.add_edge((u, self.sb.n), (u, 0))
-        return g
+        return grid_graph(self.sb, self.recirculating)
 
     def summary(self) -> Dict[str, int]:
         s = self.layout.summary()

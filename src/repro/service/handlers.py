@@ -39,7 +39,10 @@ import numpy as np
 
 from .store import ArtifactStore, cache_key
 
-__all__ = ["QUERY_KINDS", "QueryError", "normalize_params", "compute", "query"]
+__all__ = [
+    "QUERY_KINDS", "QueryError", "normalize_params", "split_exec_params",
+    "compute", "query",
+]
 
 Arrays = Optional[Dict[str, np.ndarray]]
 
@@ -124,6 +127,12 @@ def _optional(conv: Callable[[object, str], object]) -> Callable:
         return conv(v, name)
     return wrapped
 
+def _positive_int(v: object, name: str) -> int:
+    i = _as_int(v, name)
+    if i < 1:
+        raise QueryError(f"{name} must be a positive integer, got {i}")
+    return i
+
 
 #: ``kind -> {param: (converter, default)}``; a default of ``...`` marks
 #: the parameter required.  The HTTP layer reuses the converters to
@@ -170,6 +179,37 @@ PARAM_SPECS: Dict[str, Dict[str, Tuple[Callable, object]]] = {
 
 QUERY_KINDS = tuple(PARAM_SPECS)
 
+#: Execution knobs: how to compute, never what to compute.  They are
+#: split off *before* normalization, excluded from the cache key and
+#: from ``result["params"]`` — same design, same artifact, so a warm
+#: cache serves identical bytes whatever budget/worker count produced
+#: them (the chunked pipeline is byte-identical to the monolithic one).
+EXEC_PARAM_SPECS: Dict[str, Dict[str, Callable]] = {
+    "layout": {
+        "memory_budget_bytes": _optional(_positive_int),
+        "workers": _optional(_positive_int),
+    },
+}
+
+
+def split_exec_params(
+    kind: str, params: Dict[str, object]
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """``(design_params, exec_params)`` with exec knobs validated and
+    removed; unknown keys stay in ``design_params`` for
+    :func:`normalize_params` to reject."""
+    spec = EXEC_PARAM_SPECS.get(kind, {})
+    if not isinstance(params, dict) or not spec:
+        return params, {}
+    rest = dict(params)
+    ex: Dict[str, object] = {}
+    for name, conv in spec.items():
+        if name in rest:
+            val = conv(rest.pop(name), name)
+            if val is not None:
+                ex[name] = val
+    return rest, ex
+
 
 def normalize_params(kind: str, params: Dict[str, object]) -> Dict[str, object]:
     """Validated params with defaults filled — the dict that gets keyed.
@@ -202,38 +242,78 @@ def normalize_params(kind: str, params: Dict[str, object]) -> Dict[str, object]:
 # compute kernels (cache misses)
 # ----------------------------------------------------------------------
 
-def _compute_layout(p: Dict[str, object]) -> Tuple[Dict, Arrays]:
+def _layout_payload(t) -> Dict[str, np.ndarray]:
     import json
 
-    from ..analysis.wirestats import wire_stats
-    from ..layout import build_grid_layout, validate_layout
-
-    res = build_grid_layout(
-        tuple(p["ks"]), W=p["node_side"], L=p["layers"],
-        track_order=p["track_order"], recirculating=p["recirculating"],
-    )
-    rep = validate_layout(res.layout, res.graph)
-    ws = wire_stats(res.layout)
-    result = {
-        "kind": "layout",
-        "params": p,
-        "valid": bool(rep.ok),
-        "errors": [str(e) for e in rep.errors[:10]],
-        "summary": {k: int(v) for k, v in res.layout.summary().items()},
-        "wire_stats": {
-            k: v for k, v in ws.as_row("grid").items()
-            if k not in ("layout", "wires", "max")
-        },
-    }
-    t = res.layout.wire_table()
-    arrays = {
+    return {
         "indptr": t.indptr, "x1": t.x1, "y1": t.y1,
         "x2": t.x2, "y2": t.y2, "layer": t.layer,
         "nets_json": np.frombuffer(
             json.dumps(t.nets).encode("utf-8"), dtype=np.uint8
         ),
     }
-    return result, arrays
+
+
+def _layout_result(p: Dict, rep, summary: Dict, ws) -> Dict:
+    return {
+        "kind": "layout",
+        "params": p,
+        "valid": bool(rep.ok),
+        "errors": [str(e) for e in rep.errors[:10]],
+        "summary": {k: int(v) for k, v in summary.items()},
+        "wire_stats": {
+            k: v for k, v in ws.as_row("grid").items()
+            if k not in ("layout", "wires", "max")
+        },
+    }
+
+
+def _compute_layout(
+    p: Dict[str, object], ex: Optional[Dict[str, object]] = None
+) -> Tuple[Dict, Arrays]:
+    ex = ex or {}
+    budget = ex.get("memory_budget_bytes")
+    workers = ex.get("workers")
+    if budget is None and workers is None:
+        from ..analysis.wirestats import wire_stats
+        from ..layout import build_grid_layout, validate_layout
+
+        res = build_grid_layout(
+            tuple(p["ks"]), W=p["node_side"], L=p["layers"],
+            track_order=p["track_order"], recirculating=p["recirculating"],
+        )
+        rep = validate_layout(res.layout, res.graph)
+        summary = res.layout.summary()
+        ws = wire_stats(res.layout)
+        t = res.layout.wire_table()
+        return _layout_result(p, rep, summary, ws), _layout_payload(t)
+
+    # chunked route: stream the build under the byte budget, validate
+    # with the (optionally parallel) streaming pipeline — result and
+    # payload are byte-identical to the monolithic route above, which is
+    # why neither knob may enter the cache key
+    from ..analysis.wirestats import wire_stats_from_lengths
+    from ..layout import chunked_grid_table, grid_graph
+    from ..layout.wiretable import WireTable
+    from ..transform.swap_butterfly import SwapButterfly
+
+    build = chunked_grid_table(
+        tuple(p["ks"]), W=p["node_side"], L=p["layers"],
+        track_order=p["track_order"], recirculating=p["recirculating"],
+        memory_budget_bytes=budget,
+    )
+    graph = grid_graph(
+        SwapButterfly.from_ks(tuple(p["ks"])), p["recirculating"]
+    )
+    rep, summary = build.validate_and_summarize(graph=graph, workers=workers)
+    # the array payload is O(wires) by definition; a second (serial)
+    # enumeration assembles it and the wire-length stats
+    parts = list(build.chunks())
+    ws = wire_stats_from_lengths(
+        np.concatenate([t.wire_lengths() for t in parts])
+    )
+    table = WireTable.concat(parts)
+    return _layout_result(p, rep, summary, ws), _layout_payload(table)
 
 
 def _compute_dims(p: Dict[str, object]) -> Tuple[Dict, Arrays]:
@@ -406,14 +486,23 @@ _COMPUTE: Dict[str, Callable[[Dict], Tuple[Dict, Arrays]]] = {
 }
 
 
-def compute(kind: str, params: Dict[str, object]) -> Tuple[Dict, Arrays]:
+def compute(
+    kind: str,
+    params: Dict[str, object],
+    exec_params: Optional[Dict[str, object]] = None,
+) -> Tuple[Dict, Arrays]:
     """Run the query uncached; params must already be normalized.
+
+    ``exec_params`` (already split/validated) steer *how* the answer is
+    computed — they never change the answer's bytes.
 
     Engine-level ``ValueError``s (a parameter vector the constructions
     reject, e.g. ``k_i > k1``) surface as :class:`QueryError` so the
     HTTP layer answers 400, not 500.
     """
     try:
+        if kind in EXEC_PARAM_SPECS:
+            return _COMPUTE[kind](params, exec_params)
         return _COMPUTE[kind](params)
     except QueryError:
         raise
@@ -427,20 +516,39 @@ def query(
     store: Optional[ArtifactStore] = None,
     use_cache: bool = True,
     info: Optional[Dict[str, object]] = None,
+    exec_params: Optional[Dict[str, object]] = None,
 ) -> Dict:
     """Answer a design query, serving from ``store`` when possible.
 
     Misses compute under the store's single-flight lock, so concurrent
     identical queries compute once.  ``info`` (if given) receives
     ``cache`` (``"hit"`` / ``"miss"`` / ``"off"``) and ``key``.
+
+    Execution knobs (``memory_budget_bytes``, ``workers`` for
+    ``layout``) may ride along inside ``params`` — the HTTP layer passes
+    query strings through verbatim — or arrive via ``exec_params``.
+    Either way they are validated, stripped before normalization, and
+    excluded from the cache key: they choose the compute strategy, not
+    the artifact.
     """
+    params, ex = split_exec_params(kind, params)
+    if exec_params:
+        spec = EXEC_PARAM_SPECS.get(kind, {})
+        for name, val in exec_params.items():
+            if name not in spec:
+                raise QueryError(
+                    f"unknown exec parameter {name!r} for {kind}"
+                )
+            val = spec[name](val, name)
+            if val is not None:
+                ex[name] = val
     p = normalize_params(kind, params)
     if info is None:
         info = {}
     info["key"] = key = cache_key(kind, p)
     if store is None or not use_cache:
         info["cache"] = "off"
-        return compute(kind, p)[0]
+        return compute(kind, p, ex)[0]
     cached = store.get(kind, p)
     if cached is not None:
         info["cache"] = "hit"
@@ -450,7 +558,7 @@ def query(
         if cached is not None:
             info["cache"] = "hit"
             return cached
-        result, arrays = compute(kind, p)
+        result, arrays = compute(kind, p, ex)
         store.put(kind, p, result, arrays)
     info["cache"] = "miss"
     return result

@@ -110,6 +110,31 @@ class TestGrid:
         c = normalize_grid({"ks": [[1, 1, 1]], "rate": [0.9]})
         assert spec_digest(a) != spec_digest(c)
 
+    def test_exec_config_validated(self):
+        g = normalize_grid(
+            {"ks": [[1, 1, 1]],
+             "config": {"layout_memory_budget": 4096, "layout_workers": 2}}
+        )
+        assert g["config"]["layout_memory_budget"] == 4096
+        assert g["config"]["layout_workers"] == 2
+        for bad in (0, -1, "two", 1.5):
+            with pytest.raises(GridError):
+                normalize_grid(
+                    {"ks": [[1, 1, 1]], "config": {"layout_workers": bad}}
+                )
+
+    def test_spec_digest_ignores_exec_config(self):
+        plain = normalize_grid({"ks": [[1, 1, 1]]})
+        chunked = normalize_grid(
+            {"ks": [[1, 1, 1]],
+             "config": {"layout_memory_budget": 1 << 20,
+                        "layout_workers": 4}}
+        )
+        # same design grid -> same run id, however it executes
+        assert spec_digest(plain) == spec_digest(chunked)
+        other = normalize_grid({"ks": [[1, 1, 1]], "config": {"seed": 9}})
+        assert spec_digest(plain) != spec_digest(other)
+
     def test_derive_seed_identity_not_order(self):
         s = derive_seed(0, "benes", [1, 1, 1])
         assert s == derive_seed(0, "benes", [1, 1, 1])
@@ -151,6 +176,20 @@ class TestStages:
         assert rec1["status"] == "failed" and rec1["proof"]["rc"] == 2
         assert "k_i <= k1" in rec1["error"]
         assert rec1 == rec2  # same params -> same failure record
+
+    def test_chunked_layout_stage_record_is_byte_identical(self):
+        p = CampaignPoint(index=0, ks=(2, 1, 1), layers=2, pin_limit=None,
+                          rate=0.7)
+        plain = run_stage("layout", p, dict(CONFIG_DEFAULTS), store=None)
+        chunked = run_stage(
+            "layout", p,
+            dict(CONFIG_DEFAULTS, layout_memory_budget=4096,
+                 layout_workers=2),
+            store=None,
+        )
+        # exec knobs never reach the record: proof argv, cache key,
+        # result digest and summary all match the monolithic stage
+        assert chunked == plain
 
     def test_validate_skips_without_layout(self):
         p = CampaignPoint(index=0, ks=(1, 1, 1), layers=2, pin_limit=None,

@@ -47,6 +47,45 @@ class TestCommands:
         strip = lambda s: "\n".join(s.splitlines()[1:])
         assert strip(legacy_out) == strip(table_out)
 
+    def test_layout_chunked_flags_same_table(self, capsys):
+        assert main(["layout", "--ks", "2,2,2"]) == 0
+        plain = capsys.readouterr()
+        assert main(["layout", "--ks", "2,2,2", "--memory-budget", "4096",
+                     "--workers", "2"]) == 0
+        chunked = capsys.readouterr()
+        # the chunk-estimate note rides on stderr next to the cache note
+        assert "[chunked " in chunked.err and "workers=2" in chunked.err
+        assert "[cache " in chunked.err
+        # stdout metrics are byte-identical (strip the timing line)
+        strip = lambda s: "\n".join(s.splitlines()[1:])
+        assert strip(chunked.out) == strip(plain.out)
+
+    def test_layout_flag_validation_exits_2(self, capsys):
+        for flags in (["--memory-budget", "0"], ["--workers", "-1"],
+                      ["--workers", "two"]):
+            with pytest.raises(SystemExit) as exc:
+                main(["layout", "--ks", "2,2,2", *flags])
+            assert exc.value.code == 2
+            assert "expected a positive integer" in capsys.readouterr().err
+
+    def test_layout_exec_flags_need_service_path(self, capsys):
+        assert main(["layout", "--ks", "2,2,2", "--workers", "2",
+                     "--legacy"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_campaign_spec_carries_exec_knobs(self):
+        from repro.cli import _campaign_spec, build_parser
+
+        p = build_parser()
+        args = p.parse_args(["campaign", "run", "--ks", "1,1,1",
+                             "--memory-budget", "8192",
+                             "--layout-workers", "2"])
+        spec = _campaign_spec(args)
+        assert spec["config"]["layout_memory_budget"] == 8192
+        assert spec["config"]["layout_workers"] == 2
+        args2 = p.parse_args(["campaign", "run", "--ks", "1,1,1"])
+        assert "config" not in _campaign_spec(args2)
+
     def test_dims(self, capsys):
         assert main(["dims", "--ks", "8,8,8", "--layers", "4"]) == 0
         assert "area" in capsys.readouterr().out

@@ -345,6 +345,73 @@ class TestHandlers:
         ) is None
 
 
+class TestExecParams:
+    """Execution knobs: how to compute, never what to compute — they
+    must not change result bytes, cache keys or stored params."""
+
+    def test_split_pops_only_exec_keys(self):
+        from repro.service.handlers import split_exec_params
+
+        rest, ex = split_exec_params(
+            "layout", {"ks": [2, 2], "workers": 2,
+                       "memory_budget_bytes": 4096, "bogus": 1},
+        )
+        assert rest == {"ks": [2, 2], "bogus": 1}  # unknown keys stay
+        assert ex == {"workers": 2, "memory_budget_bytes": 4096}
+        rest2, ex2 = split_exec_params("dims", {"ks": [2, 2], "workers": 2})
+        assert rest2 == {"ks": [2, 2], "workers": 2} and ex2 == {}
+
+    def test_chunked_result_and_key_match_monolithic(self, store):
+        params = {"ks": [2, 2, 2]}
+        info_mono, info_chunk = {}, {}
+        mono = query("layout", dict(params), store=None, info=info_mono)
+        chunk = query(
+            "layout",
+            dict(params, memory_budget_bytes=8192, workers=2),
+            store=store, info=info_chunk,
+        )
+        assert info_mono["key"] == info_chunk["key"]
+        assert canonical_json(mono) == canonical_json(chunk)
+        assert "workers" not in chunk["params"]
+        assert "memory_budget_bytes" not in chunk["params"]
+        # the arrays payload is the same table the monolithic path stores
+        arrays = store.load_arrays(
+            "layout", normalize_params("layout", params)
+        )
+        assert arrays is not None
+        assert arrays["indptr"].shape == (chunk["summary"]["wires"] + 1,)
+        # a monolithic re-query is a cache hit on the chunked artifact
+        info_hit = {}
+        again = query("layout", dict(params), store=store, info=info_hit)
+        assert info_hit["cache"] == "hit"
+        assert canonical_json(again) == canonical_json(chunk)
+
+    def test_exec_kwarg_equivalent_to_inline(self, store):
+        params = {"ks": [2, 2, 2]}
+        r1 = query("layout", dict(params, workers=1), store=None)
+        r2 = query("layout", dict(params), store=None,
+                   exec_params={"workers": 1})
+        assert canonical_json(r1) == canonical_json(r2)
+
+    def test_exec_values_validated(self):
+        for bad in (0, -3, "x", 1.5, True):
+            with pytest.raises(QueryError):
+                query("layout", {"ks": [2, 2], "workers": bad}, store=None)
+        with pytest.raises(QueryError):
+            query("layout", {"ks": [2, 2]}, store=None,
+                  exec_params={"memory_budget_bytes": 0})
+        with pytest.raises(QueryError):
+            query("layout", {"ks": [2, 2]}, store=None,
+                  exec_params={"bogus": 1})
+
+    def test_exec_strings_coerce_like_http(self):
+        r = query("layout",
+                  {"ks": [2, 2, 2], "workers": "2",
+                   "memory_budget_bytes": "8192"},
+                  store=None)
+        assert r["valid"]
+
+
 @pytest.fixture
 def http_server(store):
     srv = make_server(host="127.0.0.1", port=0, store=store, quiet=True)

@@ -246,6 +246,26 @@ def test_chunked_build_surface():
     assert c.validate().ok
 
 
+def test_summary_reuses_consumed_stats_pass():
+    # validate_and_summarize already streamed every chunk once; a later
+    # summary() must serve the cached stats, not re-materialize chunks
+    c = chunked_collinear_table(6, 2, memory_budget_bytes=4096)
+    want = collinear_layout(6, 2).layout.summary()
+    _rep, summ = c.validate_and_summarize(graph=complete_multigraph(6, 2))
+    assert summ == want
+    calls = []
+    real = c._materialize
+    object.__setattr__(
+        c, "_materialize",
+        lambda *a, **kw: calls.append(1) or real(*a, **kw),
+    )
+    assert c.summary() == want
+    assert not calls, "summary() restreamed chunks after a stats pass"
+    # and the cache hands out copies, not the internal dict
+    c.summary()["wires"] = -1
+    assert c.summary() == want
+
+
 @pytest.mark.slow
 def test_b14_grid_build_peak_under_budget():
     """The declared budget bounds the chunked B_14 build's peak
